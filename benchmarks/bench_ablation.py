@@ -1,0 +1,55 @@
+"""E-A — Sec. VI-F optimization ablations.
+
+One bench per optimization axis; each crafts the situation its
+optimization targets and reports on-vs-off throughput, latency, and the
+axis-specific effect (deliver phases avoided, wire bytes saved).  The
+assembled table is printed at session end.
+"""
+
+import pytest
+from _common import record_table
+
+from repro.experiments.ablation import (
+    AblationResult,
+    ablate_avoid_revotes,
+    ablate_omit_known_blocks,
+    ablate_preempt_catchup,
+    render_ablations,
+)
+
+_RESULTS: dict[str, AblationResult] = {}
+_ALL = ("avoid_revotes", "omit_known_blocks", "preempt_catchup")
+
+
+def _record(result: AblationResult) -> None:
+    _RESULTS[result.axis] = result
+    if set(_RESULTS) == set(_ALL):
+        record_table(render_ablations([_RESULTS[a] for a in _ALL]))
+
+
+def test_ablation_avoid_revotes(benchmark):
+    result = benchmark.pedantic(ablate_avoid_revotes, rounds=1, iterations=1)
+    _record(result)
+    benchmark.extra_info["delivers_on"] = result.on_delivers
+    benchmark.extra_info["delivers_off"] = result.off_delivers
+    # The optimization removes the re-vote deliver phases entirely.
+    assert result.on_delivers < result.off_delivers
+    assert result.on.throughput_tps >= result.off.throughput_tps * 0.98
+
+
+def test_ablation_omit_known_blocks(benchmark):
+    result = benchmark.pedantic(ablate_omit_known_blocks, rounds=1, iterations=1)
+    _record(result)
+    saved = 1 - result.on_bytes / result.off_bytes
+    benchmark.extra_info["bytes_saved_pct"] = round(saved * 100, 1)
+    assert saved > 0.05  # omission saves real wire bytes at 256 B
+
+
+def test_ablation_preempt_catchup(benchmark):
+    result = benchmark.pedantic(ablate_preempt_catchup, rounds=1, iterations=1)
+    _record(result)
+    benchmark.extra_info["tput_on"] = round(result.on.throughput_tps)
+    benchmark.extra_info["tput_off"] = round(result.off.throughput_tps)
+    # Preempting slow deliver phases improves both headline metrics.
+    assert result.on.throughput_tps > result.off.throughput_tps
+    assert result.on.mean_latency_s < result.off.mean_latency_s

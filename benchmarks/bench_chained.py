@@ -1,0 +1,74 @@
+"""E-C — the chained (pipelined) family (Sec. III / Sec. IX extension).
+
+Not a paper figure (the paper evaluates the basic versions) but the
+natural follow-up its text names: Chained-HotStuff and Chained-Damysus
+exist (Sec. III) and OneShot "can be seamlessly turned into a chained
+version" (Sec. IX).  All three pipelined protocols run two waves per
+view and one block per view, so their throughputs converge — while the
+k-chain commit rules (1 / 2 / 3) keep OneShot's latency advantage.
+"""
+
+import pytest
+from _common import TARGET_BLOCKS, record_table
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.metrics import render_table
+
+PROTOCOLS = (
+    "hotstuff",
+    "hotstuff-chained",
+    "damysus",
+    "damysus-chained",
+    "oneshot",
+    "oneshot-chained",
+)
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_chained_family(benchmark, protocol):
+    cfg = ExperimentConfig(
+        protocol=protocol,
+        f=2,
+        payload_bytes=0,
+        deployment="eu",
+        target_blocks=2 * TARGET_BLOCKS,
+        seed=7,
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment(cfg), rounds=1, iterations=1
+    )
+    stats = result.stats
+    _RESULTS[protocol] = stats
+    benchmark.extra_info["throughput_tps"] = round(stats.throughput_tps)
+    benchmark.extra_info["latency_ms"] = round(stats.mean_latency_s * 1e3, 2)
+    if len(_RESULTS) < len(PROTOCOLS):
+        return
+    rows, cells = [], []
+    for proto in PROTOCOLS:
+        st = _RESULTS[proto]
+        rows.append(proto)
+        cells.append(
+            [f"{st.throughput_tps:,.0f}", f"{st.mean_latency_s * 1e3:.1f}"]
+        )
+    record_table(
+        render_table(
+            "Basic vs chained family (EU, f=2, 0B)",
+            rows,
+            ["tx/s", "latency ms"],
+            cells,
+        )
+    )
+    # Chaining improves every protocol's throughput...
+    for base in ("hotstuff", "damysus", "oneshot"):
+        assert (
+            _RESULTS[f"{base}-chained"].throughput_tps
+            > _RESULTS[base].throughput_tps
+        )
+    # ...and the k-chain commit rule preserves the latency ordering.
+    assert (
+        _RESULTS["oneshot-chained"].mean_latency_s
+        < _RESULTS["damysus-chained"].mean_latency_s
+        < _RESULTS["hotstuff-chained"].mean_latency_s
+    )

@@ -1,0 +1,37 @@
+"""E-M — linear message complexity (Sec. I claim).
+
+Measures messages/bytes per decided block across cluster sizes and
+checks that per-node message counts stay constant — the defining
+property of a streamlined protocol (a quadratic protocol's per-node
+count would grow with n).  Bonus: the per-node constant *is* the
+protocol's communication-step count (4 / 6 / 8).
+"""
+
+import pytest
+from _common import record_table
+
+from repro.experiments.complexity import (
+    check_linearity,
+    render_complexity,
+    run_complexity,
+)
+
+EXPECTED_STEPS = {"oneshot": 4, "damysus": 6, "hotstuff": 8}
+
+
+def test_message_complexity_linear(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_complexity(f_values=(1, 2, 4, 10)), rounds=1, iterations=1
+    )
+    record_table(render_complexity(result))
+    assert check_linearity(result) == []
+    for protocol, steps in EXPECTED_STEPS.items():
+        per_node = [
+            p.msgs_per_block_per_node for p in result.series(protocol)
+        ]
+        # Per-node messages per block == communication steps per view.
+        for value in per_node:
+            assert abs(value - steps) < 0.5, (protocol, per_node)
+        benchmark.extra_info[f"{protocol}_msgs_per_block_per_node"] = round(
+            per_node[-1], 2
+        )

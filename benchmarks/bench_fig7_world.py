@@ -1,0 +1,36 @@
+"""E4 — Fig. 7, world-wide deployment (11 regions, max RTT
+278 ms Sydney-Paris): throughput & latency vs f for OneShot, Damysus, HotStuff at
+0 B and 256 B payloads.
+
+Each benchmark regenerates one figure point; the assembled panel and
+the Sec. VIII-c gain table are printed at session end.
+"""
+
+import pytest
+from _common import F_VALUES, PAYLOADS, PROTOCOLS, TARGET_BLOCKS, record_fig7
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+DEPLOYMENT = "world"
+
+
+@pytest.mark.parametrize("f", F_VALUES)
+@pytest.mark.parametrize("payload", PAYLOADS)
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fig7_world_point(benchmark, protocol, payload, f):
+    cfg = ExperimentConfig(
+        protocol=protocol,
+        f=f,
+        payload_bytes=payload,
+        deployment=DEPLOYMENT,
+        target_blocks=TARGET_BLOCKS,
+        seed=7,
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment(cfg), rounds=1, iterations=1
+    )
+    stats = result.stats
+    record_fig7(DEPLOYMENT, protocol, payload, f, stats)
+    benchmark.extra_info["throughput_tps"] = round(stats.throughput_tps)
+    benchmark.extra_info["latency_ms"] = round(stats.mean_latency_s * 1e3, 2)
+    assert stats.blocks_decided >= TARGET_BLOCKS

@@ -1,0 +1,84 @@
+"""M1-M3 — supporting micro-benchmarks.
+
+Wall-clock costs of the substrate primitives the protocol simulation
+leans on: the event loop, signature generation/verification, TEE entry
+points, and a full small-cluster view.  These are not paper artifacts;
+they document where simulation time goes.
+"""
+
+import pytest
+
+from repro.core.certificates import GENESIS_PROPOSAL
+from repro.core.tee_services import Checker
+from repro.crypto import T2_MICRO, KeyPair, KeyRing, digest_of
+from repro.net import ConstantLatency, Network
+from repro.protocols.common import ProtocolConfig, build_cluster
+from repro.protocols.registry import get_protocol
+from repro.sim import Simulator
+from repro.tee import TeeCostModel, provision
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run cost of 10k chained events."""
+
+    def run():
+        sim = Simulator()
+
+        def chain(k):
+            if k:
+                sim.schedule(0.001, chain, k - 1)
+
+        sim.schedule(0.001, chain, 9999)
+        sim.run()
+        return sim.events_executed
+
+    assert benchmark(run) == 10_000
+
+
+def test_signature_roundtrip(benchmark):
+    kp = KeyPair.generate(0)
+    ring = KeyRing()
+    ring.add(kp.public())
+    d = digest_of("payload")
+
+    def run():
+        sig = kp.sign(d)
+        assert ring.verify(d, sig)
+
+    benchmark(run)
+
+
+def test_checker_store_ecall(benchmark):
+    creds = provision(2)
+
+    def run():
+        checker = Checker(
+            0,
+            creds[0].keypair,
+            creds[0].ring,
+            T2_MICRO,
+            TeeCostModel(),
+            lambda v: v % 2,
+        )
+        assert checker.tee_store(GENESIS_PROPOSAL) is not None
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("protocol", ["oneshot", "damysus", "hotstuff"])
+def test_small_cluster_views_per_second(benchmark, protocol):
+    """Wall-clock cost of simulating 10 decided blocks at n minimal."""
+    info = get_protocol(protocol)
+
+    def run():
+        sim = Simulator(seed=1)
+        net = Network(sim, ConstantLatency(0.002))
+        cfg = ProtocolConfig(n=info.n_for(1), f=1)
+        cluster = build_cluster(info.replica_cls, sim, net, cfg)
+        cluster.start()
+        ref = cluster.replicas[0]
+        sim.run(until=30.0, stop_when=lambda: len(ref.log) >= 10)
+        cluster.stop()
+        return len(ref.log)
+
+    assert benchmark(run) >= 10

@@ -1,0 +1,31 @@
+"""E-P — parallel (multi-instance) OneShot (Sec. II extension).
+
+Gupta et al.'s "lack of parallelism" objection to 2f+1 hybrid
+protocols, and the paper's answer (parallel executions): k independent
+OneShot instances per machine scale aggregate throughput until the
+shared single core saturates.
+"""
+
+import pytest
+from _common import record_table
+
+from repro.experiments.parallel import render_parallel, run_parallel_scaling
+
+
+def test_parallel_scaling(benchmark):
+    scaling = benchmark.pedantic(
+        lambda: run_parallel_scaling(ks=(1, 2, 4, 8), sim_time=2.0),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(render_parallel(scaling))
+    base = scaling.runs[1].aggregate_tps
+    benchmark.extra_info["speedup_k2"] = round(
+        scaling.runs[2].aggregate_tps / base, 2
+    )
+    benchmark.extra_info["speedup_k8"] = round(
+        scaling.runs[8].aggregate_tps / base, 2
+    )
+    assert scaling.runs[2].aggregate_tps > 1.5 * base
+    assert scaling.runs[8].aggregate_tps > scaling.runs[4].aggregate_tps * 0.9
+    assert scaling.runs[8].cpu_utilization > 0.9  # saturation regime

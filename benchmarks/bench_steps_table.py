@@ -1,0 +1,36 @@
+"""E1 — the Sec. V execution-type table.
+
+Regenerates, per execution type, the number of blocks agreed and the
+number of communication steps, *measured from the message log*:
+
+    normal      1 block  / 4 steps
+    catch-up    2 blocks / 8 steps
+    piggyback   2 blocks / 6 steps
+"""
+
+import pytest
+from _common import record_table
+
+from repro.experiments.steps_table import (
+    PAPER_STEPS,
+    measure_execution,
+    render_steps_table,
+)
+from repro.metrics import CATCHUP, NORMAL, PIGGYBACK
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("kind", [NORMAL, CATCHUP, PIGGYBACK])
+def test_steps_table_row(benchmark, kind):
+    row = benchmark.pedantic(
+        lambda: measure_execution(kind), rounds=1, iterations=1
+    )
+    _ROWS[kind] = row
+    benchmark.extra_info["blocks"] = row.blocks
+    benchmark.extra_info["steps"] = row.steps
+    assert (row.blocks, row.steps) == PAPER_STEPS[kind]
+    if len(_ROWS) == len(PAPER_STEPS):
+        record_table(
+            render_steps_table([_ROWS[k] for k in (NORMAL, CATCHUP, PIGGYBACK)])
+        )

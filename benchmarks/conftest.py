@@ -1,0 +1,8 @@
+"""Pytest hooks for the benchmark suite: print the assembled
+paper tables at session end (see _common.py for the registries)."""
+
+from _common import render_session_report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    render_session_report()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Chained (pipelined) OneShot vs the basic protocol.
+
+The paper's conclusion notes that OneShot "can be seamlessly turned
+into a chained version".  This example runs both side by side and then
+prints the chained pipeline's message timeline: each view costs only a
+proposal wave and a store wave, because the next proposal carries the
+certificate that decides the previous block.
+
+Run:  python examples/chained_pipeline.py
+"""
+
+from repro.metrics import compute_stats, extract_waves, render_timeline
+from repro.net import ConstantLatency, Network
+from repro.protocols.common import ProtocolConfig, build_cluster
+from repro.protocols.registry import get_protocol
+from repro.sim import Simulator
+
+
+def run(protocol: str, log: bool = False):
+    info = get_protocol(protocol)
+    sim = Simulator(seed=11)
+    network = Network(sim, latency=ConstantLatency(0.005))
+    if log:
+        network.enable_log()
+    cluster = build_cluster(
+        info.replica_cls, sim, network, ProtocolConfig(n=5, f=2)
+    )
+    cluster.start()
+    sim.run(until=2.0)
+    cluster.stop()
+    return cluster, network
+
+
+def main() -> None:
+    print("Basic vs chained OneShot — N=5 (f=2), 5 ms links, 2 sim-seconds\n")
+    results = {}
+    for protocol in ("oneshot", "oneshot-chained"):
+        cluster, network = run(protocol, log=(protocol == "oneshot-chained"))
+        stats = compute_stats(cluster.collector)
+        results[protocol] = (stats, network)
+        print(f"{protocol:17s} {stats}")
+
+    basic = results["oneshot"][0]
+    chained, network = results["oneshot-chained"]
+    gain = (chained.throughput_tps / basic.throughput_tps - 1) * 100
+    print(f"\npipelining gain: +{gain:.0f}% throughput at similar latency\n")
+
+    waves = extract_waves(network.message_log, first_view=3, last_view=5)
+    print(render_timeline(waves, title="chained pipeline, views 3-5:"))
+    print(
+        "\nNote the pattern: store(v) flows to the NEXT leader, whose"
+        "\nproposal(v+1) both extends and decides block v — no separate"
+        "\ndecide broadcast, one block per view."
+    )
+
+
+if __name__ == "__main__":
+    main()

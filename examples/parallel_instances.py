@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Parallel OneShot instances on shared machines.
+
+Gupta et al. ("Dissecting BFT Consensus", EuroSys'23) point out that
+2f+1 hybrid protocols lack parallelism; the paper answers that
+parallel executions address it (Sec. II).  This example runs k
+independent OneShot instances whose i-th replicas share machine i's
+single core and NIC, with leader rotation staggered so the k
+simultaneous leaders land on different machines.
+
+Run:  python examples/parallel_instances.py
+"""
+
+from repro.experiments.parallel import render_parallel, run_parallel_scaling
+from repro.smr import prefix_agreement
+
+
+def main() -> None:
+    print("k independent OneShot instances, N=3 machines (f=1), 2ms links\n")
+    scaling = run_parallel_scaling(ks=(1, 2, 4, 8), sim_time=2.0)
+    print(render_parallel(scaling))
+
+    for k, run in sorted(scaling.runs.items()):
+        ok = all(prefix_agreement(c.logs()) for c in run.clusters)
+        assert ok
+    print("\nEvery instance maintained agreement independently.")
+    print(
+        "Aggregate throughput scales with k until the shared core"
+        " saturates (busiest core -> 100%), then extra instances only"
+        " add latency — the trade-off the objection and the paper's"
+        " reply are about."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""repro — a full reproduction of *OneShot: View-Adapting Streamlined
+BFT Protocols with Trusted Execution Environments* (IPPS 2024).
+
+Layers (bottom-up):
+
+* :mod:`repro.sim` — deterministic discrete-event kernel
+* :mod:`repro.crypto` — simulated signatures + cost model
+* :mod:`repro.net` — partially-synchronous network, AWS region matrices
+* :mod:`repro.smr` — blocks, chains, mempools, clients, execution
+* :mod:`repro.tee` — enclave machinery (attestation, rollback model)
+* :mod:`repro.protocols` — HotStuff and Damysus baselines + shared base
+* :mod:`repro.core` — **OneShot** (the paper's contribution)
+* :mod:`repro.faults` — Byzantine behaviours and fault schedules
+* :mod:`repro.metrics` / :mod:`repro.experiments` — evaluation harness
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,226 @@
+"""Command-line entry points.
+
+Examples::
+
+    oneshot-repro run --protocol oneshot --f 4 --deployment eu
+    oneshot-repro fig7 --deployment eu --f 1 2 4 --blocks 20
+    oneshot-repro gains --deployment us
+    oneshot-repro steps
+    oneshot-repro degraded
+    oneshot-repro complexity
+    oneshot-repro ablations
+    oneshot-repro parallel --k 1 2 4
+    oneshot-repro timeline --protocol damysus --views 3 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import (
+    ExperimentConfig,
+    check_linearity,
+    compute_gains,
+    render_ablations,
+    render_complexity,
+    render_degraded,
+    render_fig7,
+    render_gains,
+    render_parallel,
+    render_steps_table,
+    run_all_ablations,
+    run_complexity,
+    run_degraded,
+    run_experiment,
+    run_fig7,
+    run_parallel_scaling,
+    steps_table,
+)
+from .experiments.fig7 import PAPER_F_VALUES
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--deployment", default="eu", choices=["eu", "us", "world", "local"])
+    p.add_argument("--blocks", type=int, default=20, help="decided blocks per run")
+    p.add_argument("--seed", type=int, default=7)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    cfg = ExperimentConfig(
+        protocol=args.protocol,
+        f=args.f,
+        payload_bytes=args.payload,
+        deployment=args.deployment,
+        target_blocks=args.blocks,
+        seed=args.seed,
+    )
+    result = run_experiment(cfg)
+    print(cfg.describe())
+    print(result.stats)
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    res = run_fig7(
+        args.deployment,
+        f_values=tuple(args.f),
+        target_blocks=args.blocks,
+        seed=args.seed,
+    )
+    print(render_fig7(res))
+    return 0
+
+
+def cmd_gains(args: argparse.Namespace) -> int:
+    res = run_fig7(
+        args.deployment,
+        f_values=tuple(args.f),
+        target_blocks=args.blocks,
+        seed=args.seed,
+    )
+    print(render_gains(compute_gains(res)))
+    return 0
+
+
+def cmd_steps(args: argparse.Namespace) -> int:
+    print(render_steps_table(steps_table(seed=args.seed)))
+    return 0
+
+
+def cmd_degraded(args: argparse.Namespace) -> int:
+    print(render_degraded(run_degraded(target_blocks=args.blocks, seed=args.seed)))
+    return 0
+
+
+def cmd_complexity(args: argparse.Namespace) -> int:
+    result = run_complexity(f_values=tuple(args.f), seed=args.seed)
+    print(render_complexity(result))
+    problems = check_linearity(result)
+    print(f"linearity violations: {problems or 'none'}")
+    return 0 if not problems else 1
+
+
+def cmd_ablations(args: argparse.Namespace) -> int:
+    print(render_ablations(run_all_ablations(target_blocks=args.blocks)))
+    return 0
+
+
+def cmd_parallel(args: argparse.Namespace) -> int:
+    scaling = run_parallel_scaling(ks=tuple(args.k), seed=args.seed)
+    print(render_parallel(scaling))
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from .metrics import CLASSIFIERS, extract_waves, render_timeline
+    from .net import Network
+    from .protocols.common import ProtocolConfig, build_cluster
+    from .protocols.registry import get_protocol
+    from .experiments.deployments import latency_model_for
+    from .sim import Simulator
+
+    info = get_protocol(args.protocol)
+    sim = Simulator(seed=args.seed)
+    network = Network(sim, latency=latency_model_for("local", 0.005))
+    network.enable_log()
+    cluster = build_cluster(
+        info.replica_cls, sim, network, ProtocolConfig(n=info.n_for(1), f=1)
+    )
+    cluster.start()
+    ref = cluster.replicas[0]
+    sim.run(until=60.0, stop_when=lambda: ref.view > args.views[1] + 1)
+    cluster.stop()
+    waves = extract_waves(
+        network.message_log,
+        CLASSIFIERS[args.protocol],
+        first_view=args.views[0],
+        last_view=args.views[1],
+    )
+    print(
+        render_timeline(
+            waves, title=f"{args.protocol} views {args.views[0]}-{args.views[1]}:"
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oneshot-repro",
+        description="OneShot (IPPS 2024) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="single protocol run")
+    p.add_argument(
+        "--protocol",
+        default="oneshot",
+        choices=["oneshot", "oneshot-chained", "damysus", "hotstuff"],
+    )
+    p.add_argument("--f", type=int, default=1)
+    p.add_argument("--payload", type=int, default=0, choices=[0, 256])
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("fig7", help="Fig. 7 panel for one deployment")
+    p.add_argument("--f", type=int, nargs="+", default=list(PAPER_F_VALUES))
+    _add_common(p)
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("gains", help="Sec. VIII gain tables")
+    p.add_argument("--f", type=int, nargs="+", default=list(PAPER_F_VALUES))
+    _add_common(p)
+    p.set_defaults(func=cmd_gains)
+
+    p = sub.add_parser("steps", help="Sec. V execution-type table")
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=cmd_steps)
+
+    p = sub.add_parser("degraded", help="Sec. VIII-d degraded network")
+    p.add_argument("--blocks", type=int, default=30)
+    p.add_argument("--seed", type=int, default=17)
+    p.set_defaults(func=cmd_degraded)
+
+    p = sub.add_parser("complexity", help="message complexity vs cluster size")
+    p.add_argument("--f", type=int, nargs="+", default=[1, 2, 4, 10])
+    p.add_argument("--seed", type=int, default=13)
+    p.set_defaults(func=cmd_complexity)
+
+    p = sub.add_parser("ablations", help="Sec. VI-F optimization ablations")
+    p.add_argument("--blocks", type=int, default=24)
+    p.set_defaults(func=cmd_ablations)
+
+    p = sub.add_parser("parallel", help="multi-instance scaling")
+    p.add_argument("--k", type=int, nargs="+", default=[1, 2, 4, 8])
+    p.add_argument("--seed", type=int, default=9)
+    p.set_defaults(func=cmd_parallel)
+
+    p = sub.add_parser("timeline", help="message-flow timeline of a run")
+    p.add_argument(
+        "--protocol",
+        default="oneshot",
+        choices=[
+            "oneshot",
+            "oneshot-chained",
+            "damysus",
+            "damysus-chained",
+            "hotstuff",
+            "hotstuff-chained",
+        ],
+    )
+    p.add_argument("--views", type=int, nargs=2, default=[2, 4], metavar=("FIRST", "LAST"))
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=cmd_timeline)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""OneShot — the paper's primary contribution.
+
+Certificates (Defs 1-6), trusted services (CHECKER / ACCUMULATOR,
+Fig. 5c), the replica state machine (Fig. 5a/5b), the block-pulling
+subprotocol (Fig. 6) and the Sec. VI-F optimizations.
+"""
+
+from .certificates import (
+    GENESIS_PROPOSAL,
+    GENESIS_QC,
+    Accumulator,
+    NewView,
+    NewViewCert,
+    PrepareCert,
+    Proposal,
+    QuorumCert,
+    StoreCert,
+    Vote,
+    VoteCert,
+    certifies,
+    nv_triple,
+    qc_ref,
+    qc_signer_ids,
+    verify_new_view,
+    verify_qc,
+)
+from .messages import (
+    DeliverMsg,
+    NewViewMsg,
+    PrepCertMsg,
+    ProposalMsg,
+    PullReply,
+    PullRequest,
+    StoreMsg,
+    VoteMsg,
+)
+from .pulling import Puller
+from .replica import OneShotOptions, OneShotReplica, Prop, oneshot_with_options
+from .tee_services import AccumulatorService, Checker
+
+__all__ = [
+    "GENESIS_PROPOSAL",
+    "GENESIS_QC",
+    "Accumulator",
+    "NewView",
+    "NewViewCert",
+    "PrepareCert",
+    "Proposal",
+    "QuorumCert",
+    "StoreCert",
+    "Vote",
+    "VoteCert",
+    "certifies",
+    "nv_triple",
+    "qc_ref",
+    "qc_signer_ids",
+    "verify_new_view",
+    "verify_qc",
+    "DeliverMsg",
+    "NewViewMsg",
+    "PrepCertMsg",
+    "ProposalMsg",
+    "PullReply",
+    "PullRequest",
+    "StoreMsg",
+    "VoteMsg",
+    "Puller",
+    "OneShotOptions",
+    "OneShotReplica",
+    "Prop",
+    "oneshot_with_options",
+    "AccumulatorService",
+    "Checker",
+]

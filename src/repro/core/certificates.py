@@ -1,0 +1,378 @@
+"""OneShot certificates — Definitions 1-6 of the paper.
+
+* **Proposal** (Def. 1): ``prop(h, v)_σ`` — produced by ``TEEprepare``,
+  at most one per view.
+* **Store certificate** (Def. 2): ``store(v₂, h, v₁)_σ`` — produced by
+  ``TEEstore``; block ``h`` proposed at ``v₁`` was "stored" at ``v₂``.
+* **Prepare certificate** (Def. 3): ``prep(v₂, h, v₁)_{σ⃗^{f+1}}`` —
+  f+1 store-certificate signatures combined by a leader.
+* **Vote / vote certificate** (Def. 4): ``vote(h, v)_σ`` and
+  ``vc(h, v)_{σ⃗^{f+1}}`` — the catch-up deliver phase.
+* **Accumulator** (Def. 5): ``acc(B, v, h, id⃗)_σ`` — produced by
+  ``TEEaccum``; certifies the highest new-view certificate.
+* **New-view certificate** (Def. 6): a prepare certificate or
+  ``nv(b, φ_s, φ_qc)``.
+
+A *quorum certificate* ``φ_qc`` is a prepare certificate, a vote
+certificate, or a ``B = true`` accumulator; :func:`qc_ref` maps each to
+the ⟨view, hash⟩ pair it is *for*, following Sec. VI-B(f):
+``prep(v−1, h, v')`` and ``acc(true, v−1, h, id⃗)`` are for ⟨v, h⟩,
+``vc(h, v)`` is for ⟨v, h⟩.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..crypto import Digest, KeyRing, Signature, digest_of
+from ..smr import GENESIS, Block
+
+#: Phase labels of the CHECKER counter.
+PH0, PH1 = 0, 1
+
+#: Simulated ECDSA signature size on the wire.
+SIG_BYTES = 64
+
+
+# ----------------------------------------------------------------------
+# Signed-content digests (domain-separated)
+# ----------------------------------------------------------------------
+def proposal_digest(h: Digest, view: int) -> Digest:
+    return digest_of("os-prop", h, view)
+
+
+def store_digest(stored_view: int, h: Digest, prop_view: int) -> Digest:
+    return digest_of("os-store", stored_view, h, prop_view)
+
+
+def vote_digest(h: Digest, view: int) -> Digest:
+    return digest_of("os-vote", h, view)
+
+
+def accumulator_digest(
+    certified: bool, view: int, h: Digest, ids: tuple[int, ...]
+) -> Digest:
+    return digest_of("os-acc", certified, view, h, ids)
+
+
+# ----------------------------------------------------------------------
+# Def. 1 — Proposals
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Proposal:
+    """``prop(h, v)_σ``; ``view == -1`` is the unsigned genesis bootstrap."""
+
+    block_hash: Digest
+    view: int
+    sig: Optional[Signature]
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.view == -1
+
+    def verify(self, ring: KeyRing) -> bool:
+        if self.is_genesis:
+            return self.block_hash == GENESIS.hash and self.sig is None
+        return self.sig is not None and ring.verify(
+            proposal_digest(self.block_hash, self.view), self.sig
+        )
+
+    def wire_size(self) -> int:
+        return 40 + SIG_BYTES
+
+
+#: The bootstrap proposal every replica starts from.
+GENESIS_PROPOSAL = Proposal(block_hash=GENESIS.hash, view=-1, sig=None)
+
+
+# ----------------------------------------------------------------------
+# Def. 2 — Store certificates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StoreCert:
+    """``store(v₂, h, v₁)_σ``."""
+
+    stored_view: int  # v2
+    block_hash: Digest
+    prop_view: int  # v1
+    sig: Signature
+
+    def digest(self) -> Digest:
+        return store_digest(self.stored_view, self.block_hash, self.prop_view)
+
+    def verify(self, ring: KeyRing) -> bool:
+        return ring.verify(self.digest(), self.sig)
+
+    def wire_size(self) -> int:
+        return 48 + SIG_BYTES
+
+
+# ----------------------------------------------------------------------
+# Def. 3 — Prepare certificates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrepareCert:
+    """``prep(v₂, h, v₁)_{σ⃗^{f+1}}`` — f+1 store-cert signatures.
+
+    The instance with ``stored_view == prop_view == -1`` over the
+    genesis hash is the bootstrap certificate, valid by convention.
+    """
+
+    stored_view: int
+    block_hash: Digest
+    prop_view: int
+    sigs: tuple[Signature, ...]
+
+    @property
+    def is_genesis(self) -> bool:
+        return (
+            self.stored_view == -1
+            and self.prop_view == -1
+            and self.block_hash == GENESIS.hash
+        )
+
+    def signer_ids(self) -> tuple[int, ...]:
+        return tuple(s.signer for s in self.sigs)
+
+    def verify(self, ring: KeyRing, quorum: int) -> bool:
+        if self.is_genesis:
+            return True
+        if len(set(self.signer_ids())) < quorum:
+            return False
+        digest = store_digest(self.stored_view, self.block_hash, self.prop_view)
+        return ring.verify_all(digest, list(self.sigs))
+
+    def wire_size(self) -> int:
+        return 48 + SIG_BYTES * len(self.sigs)
+
+
+#: Bootstrap certificate: "genesis was prepared before view 0".
+GENESIS_QC = PrepareCert(
+    stored_view=-1, block_hash=GENESIS.hash, prop_view=-1, sigs=()
+)
+
+
+# ----------------------------------------------------------------------
+# Def. 4 — Votes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Vote:
+    """``vote(h, v)_σ``."""
+
+    block_hash: Digest
+    view: int
+    sig: Signature
+
+    def verify(self, ring: KeyRing) -> bool:
+        return ring.verify(vote_digest(self.block_hash, self.view), self.sig)
+
+    def wire_size(self) -> int:
+        return 40 + SIG_BYTES
+
+
+@dataclass(frozen=True)
+class VoteCert:
+    """``vc(h, v)_{σ⃗^{f+1}}``."""
+
+    block_hash: Digest
+    view: int
+    sigs: tuple[Signature, ...]
+
+    def signer_ids(self) -> tuple[int, ...]:
+        return tuple(s.signer for s in self.sigs)
+
+    def verify(self, ring: KeyRing, quorum: int) -> bool:
+        if len(set(self.signer_ids())) < quorum:
+            return False
+        return ring.verify_all(
+            vote_digest(self.block_hash, self.view), list(self.sigs)
+        )
+
+    def wire_size(self) -> int:
+        return 40 + SIG_BYTES * len(self.sigs)
+
+
+# ----------------------------------------------------------------------
+# Def. 5 — Accumulators
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Accumulator:
+    """``acc(B, v, h, id⃗)_σ``.
+
+    ``certified`` is the Boolean B: whether the top new-view
+    certificate is certified by its own hash (the re-vote-avoidance
+    marker of Sec. VI-F(a)).  ``ids`` are the f+1 contributors — used
+    by the block-pulling subprotocol.
+    """
+
+    certified: bool  # B
+    view: int  # v (the stored view of the contributing certificates)
+    block_hash: Digest
+    ids: tuple[int, ...]
+    sig: Signature
+
+    def is_valid(self, ring: KeyRing, quorum: int) -> bool:
+        """Def. 5 validity: correct signature + f+1 unique ids."""
+        if len(set(self.ids)) < quorum:
+            return False
+        return ring.verify(
+            accumulator_digest(self.certified, self.view, self.block_hash, self.ids),
+            self.sig,
+        )
+
+    def wire_size(self) -> int:
+        return 48 + 4 * len(self.ids) + SIG_BYTES
+
+
+#: A quorum certificate φ_qc (Sec. VI-B(f)).
+QuorumCert = Union[PrepareCert, VoteCert, Accumulator]
+
+
+def qc_ref(qc: QuorumCert) -> Optional[tuple[int, Digest]]:
+    """The ⟨view, hash⟩ pair a quorum certificate is *for*.
+
+    Returns None for a ``B = false`` accumulator, which is not usable
+    as a quorum certificate.
+    """
+    if isinstance(qc, PrepareCert):
+        return (qc.stored_view + 1, qc.block_hash)
+    if isinstance(qc, VoteCert):
+        return (qc.view, qc.block_hash)
+    if isinstance(qc, Accumulator):
+        if not qc.certified:
+            return None
+        return (qc.view + 1, qc.block_hash)
+    return None
+
+
+def qc_signer_ids(qc: QuorumCert) -> tuple[int, ...]:
+    """The f+1 node ids certifying ``qc`` (targets for block pulls)."""
+    if isinstance(qc, Accumulator):
+        return qc.ids
+    return qc.signer_ids()
+
+
+def verify_qc(qc: QuorumCert, ring: KeyRing, quorum: int) -> bool:
+    if isinstance(qc, Accumulator):
+        return qc.is_valid(ring, quorum)
+    return qc.verify(ring, quorum)
+
+
+def qc_verify_cost_sigs(qc: QuorumCert) -> int:
+    """How many individual signature checks verifying ``qc`` costs."""
+    if isinstance(qc, Accumulator):
+        return 1
+    if isinstance(qc, PrepareCert) and qc.is_genesis:
+        return 0
+    return len(qc.sigs)
+
+
+# ----------------------------------------------------------------------
+# Def. 6 — New-view certificates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NewViewCert:
+    """``nv(b, φ_s, φ_qc)``.
+
+    ``block`` may be None under the large-block-omission optimization
+    (Sec. VI-F(b)) — the receiver pulls it if needed.
+    """
+
+    block: Optional[Block]
+    store: StoreCert
+    qc: QuorumCert
+
+    def wire_size(self) -> int:
+        qc_size = self.qc.wire_size()
+        blk = self.block.wire_size() if self.block is not None else 0
+        return 8 + blk + self.store.wire_size() + qc_size
+
+
+#: Either arm of Def. 6.
+NewView = Union[PrepareCert, NewViewCert]
+
+
+def nv_triple(nv: NewView) -> tuple[int, Digest, int]:
+    """The ⟨v₂, h, v₁⟩ a new-view certificate is *for* (Def. 6)."""
+    if isinstance(nv, PrepareCert):
+        return (nv.stored_view, nv.block_hash, nv.prop_view)
+    return (nv.store.stored_view, nv.store.block_hash, nv.store.prop_view)
+
+
+def certifies(h: Digest, nv: NewView) -> bool:
+    """Def. 6's ``certifies(h', φ_n)``: the nv certificate's quorum
+    certificate is for the very block the store certificate stores."""
+    if not isinstance(nv, NewViewCert):
+        return False
+    ref = qc_ref(nv.qc)
+    return ref is not None and ref[1] == nv.store.block_hash == h
+
+
+def verify_new_view(nv: NewViewCert, ring: KeyRing, quorum: int) -> bool:
+    """Structural + cryptographic validity of an nv-form certificate.
+
+    Checks the store certificate's signature, the inner quorum
+    certificate, and Def. 6's consistency: either the stored block
+    extends the qc's block at the proposal view (timeout after an
+    undecided proposal, l.31), or the qc certifies the stored block
+    itself (timeout after a decision, l.45).
+    """
+    if not nv.store.verify(ring):
+        return False
+    if not verify_qc(nv.qc, ring, quorum):
+        return False
+    ref = qc_ref(nv.qc)
+    if ref is None:
+        return False
+    qc_view, qc_hash = ref
+    if qc_hash == nv.store.block_hash:
+        # Self-certified (decided in view v₁, qc is for ⟨v₁+1, h⟩).
+        if qc_view != nv.store.prop_view + 1:
+            return False
+    else:
+        # Extends case: qc is for ⟨v₁, h'⟩ and b ≻ h'.
+        if qc_view != nv.store.prop_view:
+            return False
+        if nv.block is not None and not nv.block.extends(qc_hash):
+            return False
+    if nv.block is not None and nv.block.hash != nv.store.block_hash:
+        return False
+    return True
+
+
+def nv_verify_cost_sigs(nv: NewView) -> int:
+    """Signature checks needed to verify a new-view certificate."""
+    if isinstance(nv, PrepareCert):
+        return qc_verify_cost_sigs(nv)
+    return 1 + qc_verify_cost_sigs(nv.qc)
+
+
+__all__ = [
+    "PH0",
+    "PH1",
+    "SIG_BYTES",
+    "Proposal",
+    "GENESIS_PROPOSAL",
+    "StoreCert",
+    "PrepareCert",
+    "GENESIS_QC",
+    "Vote",
+    "VoteCert",
+    "Accumulator",
+    "QuorumCert",
+    "NewView",
+    "NewViewCert",
+    "proposal_digest",
+    "store_digest",
+    "vote_digest",
+    "accumulator_digest",
+    "qc_ref",
+    "qc_signer_ids",
+    "verify_qc",
+    "qc_verify_cost_sigs",
+    "nv_triple",
+    "certifies",
+    "verify_new_view",
+    "nv_verify_cost_sigs",
+]

@@ -1,0 +1,138 @@
+"""OneShot wire messages.
+
+One message type per arrow in Figs. 2-5:
+
+* ``NewViewMsg`` — new-view ½-phase (backup → next leader), l.46/l.52.
+* ``ProposalMsg`` — prepare phase (leader → all), l.8.
+* ``StoreMsg`` — prepare phase reply (replica → leader), l.33.
+* ``PrepCertMsg`` — decide ½-phase (leader → all), l.39.
+* ``DeliverMsg`` — deliver phase of catch-up executions (leader → all),
+  l.27 / Fig. 5b.
+* ``VoteMsg`` — deliver phase reply (replica → leader), Fig. 5b l.6.
+* ``PullRequest`` / ``PullReply`` — Fig. 6 block pulling.
+
+``ProposalMsg.exec_kind`` is measurement metadata (which execution type
+the leader ran) consumed by the metrics layer only — protocol logic
+never branches on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto import Digest
+from ..smr import Block
+from .certificates import (
+    Accumulator,
+    NewView,
+    NewViewCert,
+    PrepareCert,
+    Proposal,
+    QuorumCert,
+    StoreCert,
+    Vote,
+)
+
+
+@dataclass(frozen=True)
+class NewViewMsg:
+    """φ_n sent to the next view's leader."""
+
+    cert: NewView  # PrepareCert | NewViewCert
+
+    def wire_size(self) -> int:
+        return 8 + self.cert.wire_size()
+
+
+@dataclass(frozen=True)
+class ProposalMsg:
+    """⟨b, φ_p, φ_qc⟩ broadcast by the leader (l.8)."""
+
+    block: Block
+    proposal: Proposal
+    qc: QuorumCert
+    exec_kind: str = "normal"  # metrics metadata only
+
+    def wire_size(self) -> int:
+        return 8 + self.block.wire_size() + self.proposal.wire_size() + self.qc.wire_size()
+
+
+@dataclass(frozen=True)
+class StoreMsg:
+    """φ_s sent back to the leader (l.33)."""
+
+    cert: StoreCert
+
+    def wire_size(self) -> int:
+        return 8 + self.cert.wire_size()
+
+
+@dataclass(frozen=True)
+class PrepCertMsg:
+    """φ_c broadcast in the decide ½-phase (l.39).
+
+    Carries the proposal too so replicas that missed the proposal can
+    still adopt ``prop`` (and pull the block).
+    """
+
+    cert: PrepareCert
+    proposal: Proposal
+
+    def wire_size(self) -> int:
+        return 8 + self.cert.wire_size() + self.proposal.wire_size()
+
+
+@dataclass(frozen=True)
+class DeliverMsg:
+    """⟨acc, φ_0⟩ starting the deliver phase (l.27)."""
+
+    acc: Accumulator
+    top: NewViewCert
+
+    def wire_size(self) -> int:
+        return 8 + self.acc.wire_size() + self.top.wire_size()
+
+
+@dataclass(frozen=True)
+class VoteMsg:
+    """φ_v from the deliver phase (Fig. 5b l.6)."""
+
+    vote: Vote
+
+    def wire_size(self) -> int:
+        return 8 + self.vote.wire_size()
+
+
+@dataclass(frozen=True)
+class PullRequest:
+    """⟨v, h⟩ pull request (Fig. 6 l.11)."""
+
+    view: int
+    block_hash: Digest
+
+    def wire_size(self) -> int:
+        return 48
+
+
+@dataclass(frozen=True)
+class PullReply:
+    """⟨v, b⟩ pull reply (Fig. 6 l.16)."""
+
+    view: int
+    block: Block
+
+    def wire_size(self) -> int:
+        return 16 + self.block.wire_size()
+
+
+__all__ = [
+    "NewViewMsg",
+    "ProposalMsg",
+    "StoreMsg",
+    "PrepCertMsg",
+    "DeliverMsg",
+    "VoteMsg",
+    "PullRequest",
+    "PullReply",
+]

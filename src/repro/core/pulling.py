@@ -1,0 +1,96 @@
+"""Block-pulling subprotocol (Fig. 6).
+
+When a replica learns of a block hash through a quorum certificate but
+has never received the block, it pulls it from one of the f+1 nodes
+that certified the hash — at least one of which is correct and holds
+the block.  Anti-DoS rule (Sec. VI-E): a node answers a given
+requester's pull for a given block at most once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..crypto import Digest
+from .certificates import QuorumCert, qc_signer_ids
+from .messages import PullRequest, PullReply
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .replica import OneShotReplica
+
+
+class Puller:
+    """Pull-state attached to a replica.
+
+    The paper piggybacks pull requests/replies onto protocol messages;
+    we send them as (small) standalone messages, which preserves the
+    message count within a constant and keeps the logic explicit.
+    """
+
+    #: Re-ask a different certifier if no reply within this long.
+    RETRY_S = 1.0
+
+    def __init__(self, replica: "OneShotReplica") -> None:
+        self.replica = replica
+        #: hash -> (view, candidate ids, next candidate index)
+        self.pulling: dict[Digest, tuple[int, tuple[int, ...], int]] = {}
+        #: (requester, hash) pairs already answered (anti-DoS).
+        self.served: set[tuple[int, Digest]] = set()
+
+    # -- Fig. 6 l.3-7 ----------------------------------------------------
+    def pull(self, qc: QuorumCert) -> None:
+        """Start pulling the block a quorum certificate is for."""
+        from .certificates import qc_ref
+
+        ref = qc_ref(qc)
+        if ref is None:
+            return
+        view, h = ref
+        self.pull_hash(view, h, qc_signer_ids(qc))
+
+    def pull_hash(self, view: int, h: Digest, ids: tuple[int, ...]) -> None:
+        r = self.replica
+        if r.log.is_executed(h) or h in r.store or h in self.pulling:
+            return
+        candidates = tuple(i for i in ids if i != r.pid) or ids
+        self.pulling[h] = (view, candidates, 0)
+        self._ask(h)
+
+    def _ask(self, h: Digest) -> None:
+        entry = self.pulling.get(h)
+        if entry is None:
+            return
+        view, candidates, idx = entry
+        target = candidates[idx % len(candidates)]
+        self.pulling[h] = (view, candidates, idx + 1)
+        r = self.replica
+        r.network.send(r.pid, target, PullRequest(view=view, block_hash=h))
+        r.after(self.RETRY_S, self._retry, h)
+
+    def _retry(self, h: Digest) -> None:
+        if h in self.pulling and not self.replica.stopped:
+            self._ask(h)
+
+    # -- Fig. 6 l.13-16 ---------------------------------------------------
+    def on_pull_request(self, sender: int, msg: PullRequest) -> None:
+        key = (sender, msg.block_hash)
+        if key in self.served:
+            return
+        block = self.replica.store.get(msg.block_hash)
+        if block is None:
+            return
+        self.served.add(key)
+        done = self.replica.charge(self.replica.config.handler_overhead)
+        self.replica.send_at(done, sender, PullReply(view=msg.view, block=block))
+
+    # -- Fig. 6 l.18-20 ---------------------------------------------------
+    def on_pull_reply(self, sender: int, msg: PullReply) -> None:
+        r = self.replica
+        h = msg.block.hash
+        r.charge(r.config.crypto_costs.hash(msg.block.wire_size()))
+        if h in self.pulling:
+            del self.pulling[h]
+        r.add_block(msg.block)
+
+
+__all__ = ["Puller"]

@@ -1,0 +1,26 @@
+"""Simulated cryptography substrate.
+
+Hashing (:mod:`repro.crypto.hashing`), attributable signatures and key
+rings (:mod:`repro.crypto.keys`), and the t2.micro-calibrated CPU cost
+model (:mod:`repro.crypto.costs`).
+"""
+
+from .costs import FREE, T2_MICRO, CryptoCostModel
+from .hashing import GENESIS_DIGEST, Digest, digest_of, encode, sha256, short
+from .keys import KeyPair, KeyRing, PublicKey, Signature
+
+__all__ = [
+    "FREE",
+    "T2_MICRO",
+    "CryptoCostModel",
+    "GENESIS_DIGEST",
+    "Digest",
+    "digest_of",
+    "encode",
+    "sha256",
+    "short",
+    "KeyPair",
+    "KeyRing",
+    "PublicKey",
+    "Signature",
+]

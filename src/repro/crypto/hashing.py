@@ -1,0 +1,58 @@
+"""Hashing and canonical encodings.
+
+Blocks and certificates are hashed with SHA-256 over a canonical byte
+encoding.  The encoding is length-prefixed and type-tagged so distinct
+structures can never collide by concatenation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+Digest = bytes
+
+GENESIS_DIGEST: Digest = b"\x00" * 32
+
+
+def encode(obj: Any) -> bytes:
+    """Canonically encode ``obj`` (ints, strs, bytes, None, sequences).
+
+    The encoding is injective over the supported types: every value is
+    tagged with a one-byte type marker and length-prefixed.
+    """
+    if obj is None:
+        return b"N"
+    if isinstance(obj, bool):  # must precede int check
+        return b"B1" if obj else b"B0"
+    if isinstance(obj, int):
+        raw = str(obj).encode("ascii")
+        return b"I" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        return b"S" + len(raw).to_bytes(4, "big") + raw
+    if isinstance(obj, (bytes, bytearray)):
+        return b"Y" + len(obj).to_bytes(4, "big") + bytes(obj)
+    if isinstance(obj, (tuple, list)):
+        parts = [encode(x) for x in obj]
+        body = b"".join(parts)
+        return b"L" + len(parts).to_bytes(4, "big") + body
+    raise TypeError(f"cannot canonically encode {type(obj).__name__}")
+
+
+def sha256(data: bytes) -> Digest:
+    """Raw SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def digest_of(*fields: Any) -> Digest:
+    """SHA-256 over the canonical encoding of a field tuple."""
+    return sha256(encode(tuple(fields)))
+
+
+def short(d: Digest) -> str:
+    """Short human-readable prefix of a digest (logs and traces)."""
+    return d.hex()[:10]
+
+
+__all__ = ["Digest", "GENESIS_DIGEST", "encode", "sha256", "digest_of", "short"]

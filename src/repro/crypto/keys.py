@@ -1,0 +1,116 @@
+"""Key pairs and the public-key ring.
+
+The paper's replicas and trusted components sign with ECDSA
+(prime256v1).  We simulate an asymmetric scheme with HMAC-SHA256 tags:
+a :class:`KeyPair` holds a secret; the :class:`KeyRing` (the "public
+key" side distributed during attestation) can *verify* tags but the
+secret itself is only reachable through the key-pair object, which for
+TEE keys lives inside the enclave.  Within the simulation this gives
+exactly the EUF-CMA-style behaviour protocols rely on: a signature
+verifies iff it was produced by the named signer over those exact
+bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+from .hashing import Digest
+
+
+@dataclass(frozen=True)
+class Signature:
+    """An attributable signature: ``signer`` id plus an HMAC tag.
+
+    ``signer`` mirrors the paper's ``σ·id`` — the identity of whoever
+    produced the signature.
+    """
+
+    signer: int
+    tag: bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"sig({self.signer},{self.tag.hex()[:8]})"
+
+
+class KeyPair:
+    """A signing key bound to an integer identity."""
+
+    __slots__ = ("owner", "_secret")
+
+    def __init__(self, owner: int, secret: bytes) -> None:
+        self.owner = owner
+        self._secret = secret
+
+    @classmethod
+    def generate(cls, owner: int, master_seed: int = 0, domain: str = "") -> "KeyPair":
+        """Deterministically derive a key pair (simulated key generation)."""
+        secret = hashlib.sha256(
+            f"keygen:{master_seed}:{domain}:{owner}".encode()
+        ).digest()
+        return cls(owner, secret)
+
+    def sign(self, data: Digest) -> Signature:
+        """Sign a digest; only the holder of this object can do this."""
+        tag = hmac.new(self._secret, data, hashlib.sha256).digest()
+        return Signature(self.owner, tag)
+
+    def _verify(self, data: Digest, sig: Signature) -> bool:
+        if sig.signer != self.owner:
+            return False
+        expect = hmac.new(self._secret, data, hashlib.sha256).digest()
+        return hmac.compare_digest(expect, sig.tag)
+
+    def public(self) -> "PublicKey":
+        return PublicKey(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<KeyPair owner={self.owner}>"
+
+
+class PublicKey:
+    """Verification-only handle for a :class:`KeyPair`.
+
+    Holding a public key lets you verify but not sign: the secret is
+    not reachable through the public API (the simulated analogue of key
+    asymmetry).
+    """
+
+    __slots__ = ("owner", "_kp")
+
+    def __init__(self, kp: KeyPair) -> None:
+        self.owner = kp.owner
+        self._kp = kp
+
+    def verify(self, data: Digest, sig: Signature) -> bool:
+        return self._kp._verify(data, sig)
+
+
+class KeyRing:
+    """The set of public keys known to a party (replica, TEE, client)."""
+
+    def __init__(self) -> None:
+        self._keys: dict[int, PublicKey] = {}
+
+    def add(self, pk: PublicKey) -> None:
+        self._keys[pk.owner] = pk
+
+    def __contains__(self, owner: int) -> bool:
+        return owner in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def verify(self, data: Digest, sig: Signature) -> bool:
+        """Verify ``sig`` over ``data`` against the signer's public key."""
+        pk = self._keys.get(sig.signer)
+        return pk is not None and pk.verify(data, sig)
+
+    def verify_all(self, data: Digest, sigs: list[Signature]) -> bool:
+        """Verify a multi-signature list over the same data."""
+        return all(self.verify(data, s) for s in sigs)
+
+
+__all__ = ["Signature", "KeyPair", "PublicKey", "KeyRing"]

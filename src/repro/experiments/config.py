@@ -1,0 +1,45 @@
+"""Experiment configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..net import DEFAULT_BANDWIDTH_BPS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One run of one protocol under one deployment.
+
+    ``deployment`` is a name from :mod:`repro.experiments.deployments`:
+    ``"eu"``, ``"us"``, ``"world"`` (region RTT matrices) or
+    ``"local"`` (constant latency, set ``local_latency_s``).
+    """
+
+    protocol: str = "oneshot"
+    f: int = 1
+    payload_bytes: int = 0
+    deployment: str = "eu"
+    #: Stop after this many blocks are decided (by replica 0)...
+    target_blocks: int = 30
+    #: ... or when simulated time reaches this, whichever first.
+    max_sim_time: float = 600.0
+    seed: int = 0
+    timeout_base: float = 2.0
+    bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS
+    local_latency_s: float = 0.010
+    #: GST (0 = synchronous from the start) and pre-GST extra delay.
+    gst: float = 0.0
+    pre_gst_extra: float = 0.0
+    #: Skip this many initial decided blocks in the statistics (warm-up).
+    warmup_blocks: int = 2
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol} f={self.f} {self.deployment} "
+            f"{self.payload_bytes}B seed={self.seed}"
+        )
+
+
+__all__ = ["ExperimentConfig"]

@@ -1,0 +1,34 @@
+"""Deployment presets: the paper's three AWS fleets plus a local one."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net import ConstantLatency, LatencyModel, TopologyLatency
+from ..net.regions import EU4, LOCAL, US4, WORLD11, Topology
+
+#: Paper deployments (Sec. VIII): name -> topology.
+DEPLOYMENTS: dict[str, Topology] = {
+    "eu": EU4,
+    "us": US4,
+    "world": WORLD11,
+    "local": LOCAL,
+}
+
+
+def latency_model_for(
+    deployment: str, local_latency_s: float = 0.010, sigma: float = 0.06
+) -> LatencyModel:
+    """Build the latency model for a named deployment."""
+    if deployment == "local":
+        return ConstantLatency(local_latency_s)
+    try:
+        topo = DEPLOYMENTS[deployment]
+    except KeyError:
+        raise KeyError(
+            f"unknown deployment {deployment!r}; known: {sorted(DEPLOYMENTS)}"
+        ) from None
+    return TopologyLatency(topo, sigma=sigma)
+
+
+__all__ = ["DEPLOYMENTS", "latency_model_for"]

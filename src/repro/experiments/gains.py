@@ -1,0 +1,96 @@
+"""Sec. VIII gain tables (a: EU, b: US, c: world).
+
+For each payload, the paper reports OneShot's throughput gain and
+latency decrease over HotStuff and Damysus as ``X% (Y, Z)`` — the
+average, minimum and maximum over the swept fault thresholds.  These
+functions derive exactly those cells from a Fig. 7 panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics import GainCell, decrease_pct, gain_pct, render_table
+from .fig7 import Fig7Result
+
+#: The numbers printed in the paper, for side-by-side comparison:
+#: PAPER_GAINS[deployment][payload] = (tput vs HS, tput vs Dam,
+#:                                     lat vs HS, lat vs Dam) averages.
+PAPER_GAINS: dict[str, dict[int, tuple[float, float, float, float]]] = {
+    "eu": {0: (439, 144, 79, 57), 256: (151, 36, 60, 26)},
+    "us": {0: (1242, 150, 89, 59), 256: (500, 35, 80, 26)},
+    "world": {0: (338, 131, 73, 53), 256: (101, 30, 48, 22)},
+}
+
+
+@dataclass(frozen=True)
+class GainTable:
+    """One deployment's gain cells, keyed by (payload, baseline)."""
+
+    deployment: str
+    throughput: dict[tuple[int, str], GainCell]
+    latency: dict[tuple[int, str], GainCell]
+
+
+def compute_gains(result: Fig7Result) -> GainTable:
+    tput: dict[tuple[int, str], GainCell] = {}
+    lat: dict[tuple[int, str], GainCell] = {}
+    for payload in result.payloads:
+        for baseline in ("hotstuff", "damysus"):
+            if (baseline, payload) not in result.runs:
+                continue
+            t_gains = []
+            l_decs = []
+            for f in result.f_values:
+                ours = result.runs[("oneshot", payload)][f]
+                theirs = result.runs[(baseline, payload)][f]
+                t_gains.append(
+                    gain_pct(ours.throughput_tps, theirs.throughput_tps)
+                )
+                l_decs.append(
+                    decrease_pct(ours.mean_latency_s, theirs.mean_latency_s)
+                )
+            tput[(payload, baseline)] = GainCell.from_values(t_gains)
+            lat[(payload, baseline)] = GainCell.from_values(l_decs)
+    return GainTable(deployment=result.deployment, throughput=tput, latency=lat)
+
+
+def render_gains(table: GainTable) -> str:
+    """The paper's two small tables, plus the paper's own averages."""
+    paper = PAPER_GAINS.get(table.deployment, {})
+    payloads = sorted({p for p, _ in table.throughput})
+    rows = [f"{p}B" for p in payloads]
+
+    def cells(data, idx_hs, idx_dam, sign):
+        out = []
+        for p in payloads:
+            hs = data.get((p, "hotstuff"))
+            dam = data.get((p, "damysus"))
+            ref = paper.get(p)
+            out.append(
+                [
+                    hs.render(sign) if hs else "-",
+                    dam.render(sign) if dam else "-",
+                    f"{sign}{ref[idx_hs]:.0f}%" if ref else "?",
+                    f"{sign}{ref[idx_dam]:.0f}%" if ref else "?",
+                ]
+            )
+        return out
+
+    cols = ["vs HotStuff", "vs Damysus", "paper(HS)", "paper(Dam)"]
+    a = render_table(
+        f"Throughput gains [{table.deployment}]",
+        rows,
+        cols,
+        cells(table.throughput, 0, 1, "+"),
+    )
+    b = render_table(
+        f"Latency decreases [{table.deployment}]",
+        rows,
+        cols,
+        cells(table.latency, 2, 3, "-"),
+    )
+    return a + "\n\n" + b
+
+
+__all__ = ["GainTable", "PAPER_GAINS", "compute_gains", "render_gains"]

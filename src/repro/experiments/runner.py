@@ -1,0 +1,96 @@
+"""Experiment runner: build a cluster, run it, summarize.
+
+``run_experiment`` is the single entry point every figure/table driver
+uses; it wires the simulator, network, protocol and fault factory from
+an :class:`~repro.experiments.config.ExperimentConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Type
+
+from ..metrics import MetricsCollector, RunStats, compute_stats
+from ..net import Network
+from ..protocols.common import BaseReplica, Cluster, ProtocolConfig, build_cluster
+from ..protocols.registry import get_protocol
+from ..sim import Simulator
+from .config import ExperimentConfig
+from .deployments import latency_model_for
+
+ReplicaFactory = Callable[[int, Type[BaseReplica]], Optional[Type[BaseReplica]]]
+
+
+@dataclass
+class RunResult:
+    """Everything a driver might want from one run."""
+
+    config: ExperimentConfig
+    stats: RunStats
+    collector: MetricsCollector
+    cluster: Cluster
+    network: Network
+    sim: Simulator
+
+
+def _trimmed(collector: MetricsCollector, warmup_blocks: int) -> MetricsCollector:
+    """A collector view with the first ``warmup_blocks`` blocks dropped."""
+    if warmup_blocks <= 0:
+        return collector
+    by_time = sorted(collector.decided_blocks().items(), key=lambda kv: kv[1])
+    skip = {h for h, _ in by_time[:warmup_blocks]}
+    out = MetricsCollector()
+    out.decisions = [d for d in collector.decisions if d.block_hash not in skip]
+    out.view_outcomes = list(collector.view_outcomes)
+    out._proposal_times = dict(collector._proposal_times)
+    out._decisive_kind = dict(collector._decisive_kind)
+    return out
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    replica_factory: Optional[ReplicaFactory] = None,
+    enable_message_log: bool = False,
+) -> RunResult:
+    """Run one experiment to completion and return its results."""
+    info = get_protocol(config.protocol)
+    n = info.n_for(config.f)
+    sim = Simulator(seed=config.seed)
+    network = Network(
+        sim,
+        latency=latency_model_for(config.deployment, config.local_latency_s),
+        bandwidth_bps=config.bandwidth_bps,
+        gst=config.gst,
+        pre_gst_extra=config.pre_gst_extra,
+    )
+    if enable_message_log:
+        network.enable_log()
+    proto_cfg = ProtocolConfig(n=n, f=config.f, timeout_base=config.timeout_base)
+    cluster = build_cluster(
+        info.replica_cls,
+        sim,
+        network,
+        proto_cfg,
+        payload_bytes=config.payload_bytes,
+        replica_factory=replica_factory,
+    )
+    cluster.start()
+    reference = cluster.replicas[0]
+    target = config.target_blocks + config.warmup_blocks
+    sim.run(
+        until=config.max_sim_time,
+        stop_when=lambda: len(reference.log) >= target,
+    )
+    cluster.stop()
+    stats = compute_stats(_trimmed(cluster.collector, config.warmup_blocks))
+    return RunResult(
+        config=config,
+        stats=stats,
+        collector=cluster.collector,
+        cluster=cluster,
+        network=network,
+        sim=sim,
+    )
+
+
+__all__ = ["RunResult", "run_experiment", "ReplicaFactory"]

@@ -1,0 +1,41 @@
+"""Fault injection: Byzantine behaviours and fault/forcing schedules."""
+
+from .byzantine import (
+    BEHAVIOURS,
+    ByzantineMixin,
+    Crashed,
+    Equivocator,
+    GarbageSender,
+    SilentLeader,
+    SlowSender,
+    VoteWithholder,
+    make_byzantine,
+)
+from .schedule import (
+    Fault,
+    FaultPlan,
+    ViewSelector,
+    every_kth_view,
+    force_catchup_cls,
+    force_piggyback_cls,
+    forced_execution_factory,
+)
+
+__all__ = [
+    "BEHAVIOURS",
+    "ByzantineMixin",
+    "Crashed",
+    "Equivocator",
+    "GarbageSender",
+    "SilentLeader",
+    "SlowSender",
+    "VoteWithholder",
+    "make_byzantine",
+    "Fault",
+    "FaultPlan",
+    "ViewSelector",
+    "every_kth_view",
+    "force_catchup_cls",
+    "force_piggyback_cls",
+    "forced_execution_factory",
+]

@@ -1,0 +1,159 @@
+"""Byzantine replica behaviours.
+
+Each class wraps a protocol replica with one misbehaviour.  They are
+built by :func:`make_byzantine`, which subclasses the *protocol's own*
+replica class so every protocol can be attacked with the same zoo.
+
+Note the hybrid fault model (Sec. IV): Byzantine replicas here still
+call their trusted components through the normal entry points — they
+can drop, delay, replay and garble *untrusted* state and messages, but
+cannot forge TEE signatures or rewind TEE counters (rollback attacks
+are modelled separately in :mod:`repro.tee.rollback`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional, Type
+
+from ..protocols.common import BaseReplica
+
+
+class ByzantineMixin:
+    """Marker + common knobs for faulty replicas."""
+
+    byzantine = True
+    #: Window in which the misbehaviour is active.
+    fault_start: float = 0.0
+    fault_end: float = math.inf
+
+    def _faulty_now(self) -> bool:
+        return self.fault_start <= self.sim.now < self.fault_end  # type: ignore[attr-defined]
+
+
+class Crashed(ByzantineMixin):
+    """Fail-stop: ignores everything once the fault window opens."""
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if self._faulty_now():
+            return
+        super().on_message(sender, payload)  # type: ignore[misc]
+
+    def on_timeout(self) -> None:
+        if self._faulty_now():
+            return
+        super().on_timeout()  # type: ignore[misc]
+
+
+class SilentLeader(ByzantineMixin):
+    """Participates as a backup but never sends anything while leading."""
+
+    def broadcast_at(self, when: float, payload: Any, include_self: bool = True) -> None:
+        if self._faulty_now() and self.is_leader():  # type: ignore[attr-defined]
+            return
+        super().broadcast_at(when, payload, include_self)  # type: ignore[misc]
+
+
+class SlowSender(ByzantineMixin):
+    """Delays every outgoing message by ``slow_delay`` seconds."""
+
+    slow_delay: float = 0.5
+
+    def send_at(self, when: float, dst: int, payload: Any) -> None:
+        if self._faulty_now():
+            when = max(when, self.sim.now) + self.slow_delay  # type: ignore[attr-defined]
+        super().send_at(when, dst, payload)  # type: ignore[misc]
+
+
+class VoteWithholder(ByzantineMixin):
+    """Backup that never answers leaders (no stores / votes / replies).
+
+    Sends nothing at all while faulty except when it is the leader —
+    the classic "deny quorum" attack.
+    """
+
+    def send_at(self, when: float, dst: int, payload: Any) -> None:
+        if self._faulty_now() and not self.is_leader():  # type: ignore[attr-defined]
+            return
+        super().send_at(when, dst, payload)  # type: ignore[misc]
+
+
+class Equivocator(ByzantineMixin):
+    """Tries to propose twice per view (must be blocked by the TEE).
+
+    On every proposal it makes, it immediately attempts a second,
+    conflicting proposal through the same trusted entry point.  The
+    CHECKER's once-per-view rule makes the second attempt yield
+    nothing; tests assert no conflicting block is ever certified.
+    """
+
+    equivocation_attempts = 0
+    equivocation_successes = 0
+
+    def _propose(self, h, qc, kind) -> None:  # OneShot hook
+        super()._propose(h, qc, kind)  # type: ignore[misc]
+        if not self._faulty_now():
+            return
+        checker = getattr(self, "checker", None)
+        if checker is None or not hasattr(checker, "tee_prepare"):
+            return
+        from ..crypto import digest_of
+
+        self.equivocation_attempts += 1
+        fake = digest_of("equivocation", self.pid, self.view)  # type: ignore[attr-defined]
+        if checker.tee_prepare(fake) is not None:
+            self.equivocation_successes += 1  # pragma: no cover
+
+
+class GarbageSender(ByzantineMixin):
+    """Backup that answers leaders with syntactically broken payloads."""
+
+    class _Garbage:
+        def wire_size(self) -> int:
+            return 128
+
+    def send_at(self, when: float, dst: int, payload: Any) -> None:
+        if self._faulty_now() and not self.is_leader():  # type: ignore[attr-defined]
+            super().send_at(when, dst, self._Garbage())  # type: ignore[misc]
+            return
+        super().send_at(when, dst, payload)  # type: ignore[misc]
+
+
+BEHAVIOURS: dict[str, type] = {
+    "crashed": Crashed,
+    "silent-leader": SilentLeader,
+    "slow": SlowSender,
+    "withhold": VoteWithholder,
+    "equivocate": Equivocator,
+    "garbage": GarbageSender,
+}
+
+
+def make_byzantine(
+    replica_cls: Type[BaseReplica],
+    behaviour: str,
+    fault_start: float = 0.0,
+    fault_end: float = math.inf,
+    **attrs: Any,
+) -> Type[BaseReplica]:
+    """Subclass ``replica_cls`` with the named misbehaviour."""
+    mixin = BEHAVIOURS[behaviour]
+    cls = type(
+        f"{mixin.__name__}{replica_cls.__name__}",
+        (mixin, replica_cls),
+        {"fault_start": fault_start, "fault_end": fault_end, **attrs},
+    )
+    return cls
+
+
+__all__ = [
+    "ByzantineMixin",
+    "Crashed",
+    "SilentLeader",
+    "SlowSender",
+    "VoteWithholder",
+    "Equivocator",
+    "GarbageSender",
+    "BEHAVIOURS",
+    "make_byzantine",
+]

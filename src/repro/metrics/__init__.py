@@ -1,0 +1,45 @@
+"""Measurement: run-time event collection, aggregation, reporting."""
+
+from .collector import (
+    CATCHUP,
+    NORMAL,
+    PIGGYBACK,
+    Decision,
+    MetricsCollector,
+    ViewOutcome,
+)
+from .report import GainCell, render_series, render_table
+from .stats import RunStats, block_latencies, compute_stats, decrease_pct, gain_pct
+from .timeline import (
+    CLASSIFIERS,
+    Wave,
+    classify_damysus,
+    classify_hotstuff,
+    classify_oneshot,
+    extract_waves,
+    render_timeline,
+)
+
+__all__ = [
+    "CATCHUP",
+    "NORMAL",
+    "PIGGYBACK",
+    "Decision",
+    "MetricsCollector",
+    "ViewOutcome",
+    "GainCell",
+    "render_series",
+    "render_table",
+    "RunStats",
+    "block_latencies",
+    "compute_stats",
+    "decrease_pct",
+    "gain_pct",
+    "CLASSIFIERS",
+    "Wave",
+    "classify_damysus",
+    "classify_hotstuff",
+    "classify_oneshot",
+    "extract_waves",
+    "render_timeline",
+]

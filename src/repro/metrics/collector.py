@@ -1,0 +1,109 @@
+"""Event collection during a run.
+
+Replicas report proposals, executions and view outcomes; the collector
+stores flat records that :mod:`repro.metrics.stats` aggregates into the
+paper's throughput/latency numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crypto import Digest
+
+#: Execution kinds (Sec. V) plus bookkeeping outcomes.
+NORMAL = "normal"
+PIGGYBACK = "piggyback"
+CATCHUP = "catchup"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One replica executing one block."""
+
+    replica: int
+    view: int
+    block_hash: Digest
+    ntxs: int
+    time: float
+    kind: str  # execution kind of the decisive view
+
+
+@dataclass(frozen=True)
+class ViewOutcome:
+    """A replica leaving a view, either by deciding or by timing out."""
+
+    replica: int
+    view: int
+    outcome: str  # "decide" | "timeout"
+    time: float
+
+
+class MetricsCollector:
+    """Flat event store shared by all replicas of a run."""
+
+    def __init__(self) -> None:
+        self.decisions: list[Decision] = []
+        self.view_outcomes: list[ViewOutcome] = []
+        self._proposal_times: dict[Digest, float] = {}
+        self._decisive_kind: dict[int, str] = {}  # view -> execution kind
+
+    # ------------------------------------------------------------------
+    # Reporting API (called by replicas)
+    # ------------------------------------------------------------------
+    def on_propose(self, replica: int, view: int, block_hash: Digest, now: float) -> None:
+        """First proposal time of a block — the latency clock start."""
+        self._proposal_times.setdefault(block_hash, now)
+
+    def on_execute(
+        self,
+        replica: int,
+        view: int,
+        block_hash: Digest,
+        ntxs: int,
+        now: float,
+        kind: str,
+    ) -> None:
+        self.decisions.append(
+            Decision(replica, view, block_hash, ntxs, now, kind)
+        )
+        self._decisive_kind.setdefault(view, kind)
+
+    def on_view_outcome(self, replica: int, view: int, outcome: str, now: float) -> None:
+        self.view_outcomes.append(ViewOutcome(replica, view, outcome, now))
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def proposal_time(self, block_hash: Digest) -> Optional[float]:
+        return self._proposal_times.get(block_hash)
+
+    def decided_blocks(self) -> dict[Digest, float]:
+        """Unique decided blocks -> earliest execution time."""
+        out: dict[Digest, float] = {}
+        for d in self.decisions:
+            t = out.get(d.block_hash)
+            if t is None or d.time < t:
+                out[d.block_hash] = d.time
+        return out
+
+    def decisions_of(self, replica: int) -> list[Decision]:
+        return [d for d in self.decisions if d.replica == replica]
+
+    def execution_kinds(self) -> dict[int, str]:
+        """Decisive view -> execution kind (normal/piggyback/catchup)."""
+        return dict(self._decisive_kind)
+
+    def timeouts(self) -> int:
+        return sum(1 for v in self.view_outcomes if v.outcome == "timeout")
+
+
+__all__ = [
+    "MetricsCollector",
+    "Decision",
+    "ViewOutcome",
+    "NORMAL",
+    "PIGGYBACK",
+    "CATCHUP",
+]

@@ -1,0 +1,76 @@
+"""Paper-style table rendering.
+
+Sec. VIII reports gains as ``X% (Y, Z)`` — average X with range Y..Z
+over the swept fault thresholds.  These helpers render exactly that
+shape so benchmark output can be compared to the paper side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class GainCell:
+    """An ``X% (Y, Z)`` entry."""
+
+    avg: float
+    lo: float
+    hi: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "GainCell":
+        if not values:
+            raise ValueError("no values")
+        return cls(
+            avg=sum(values) / len(values), lo=min(values), hi=max(values)
+        )
+
+    def render(self, sign: str = "+") -> str:
+        mark = sign if self.avg >= 0 else "-"
+        return f"{mark}{abs(self.avg):.0f}% ({self.lo:.0f}, {self.hi:.0f})"
+
+
+def render_table(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[str]],
+) -> str:
+    """Simple fixed-width text table."""
+    widths = [max(len(str(r)) for r in row_labels) + 2]
+    for j, col in enumerate(col_labels):
+        w = len(col)
+        for row in cells:
+            w = max(w, len(row[j]))
+        widths.append(w + 2)
+    lines = [title]
+    header = "".ljust(widths[0]) + "".join(
+        c.rjust(widths[j + 1]) for j, c in enumerate(col_labels)
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, row in zip(row_labels, cells):
+        lines.append(
+            str(label).ljust(widths[0])
+            + "".join(c.rjust(widths[j + 1]) for j, c in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence[float]],
+    fmt: str = "{:,.0f}",
+) -> str:
+    """Render figure data (one column per x, one row per series)."""
+    cols = [str(x) for x in xs]
+    rows = list(series)
+    cells = [[fmt.format(v) for v in series[name]] for name in rows]
+    return render_table(f"{title}  (x = {x_label})", rows, cols, cells)
+
+
+__all__ = ["GainCell", "render_table", "render_series"]

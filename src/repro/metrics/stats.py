@@ -1,0 +1,109 @@
+"""Aggregation of run metrics into the paper's reported quantities.
+
+* **Throughput** — transactions executed per second over the measured
+  span (first proposal to last execution), counting each block once.
+* **Latency** — per decided block, time from its (first) proposal to
+  its execution, averaged over replicas; then averaged over blocks.
+  This is the "latency measured by the replicas" of Sec. VIII.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .collector import MetricsCollector
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Headline numbers for a single run."""
+
+    throughput_tps: float
+    mean_latency_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    blocks_decided: int
+    txs_decided: int
+    views_decided: int
+    timeouts: int
+    duration_s: float
+
+    def __str__(self) -> str:  # pragma: no cover - human formatting
+        return (
+            f"throughput={self.throughput_tps:,.0f} tx/s  "
+            f"latency={self.mean_latency_s * 1e3:.1f} ms "
+            f"(p50={self.p50_latency_s * 1e3:.1f}, p99={self.p99_latency_s * 1e3:.1f})  "
+            f"blocks={self.blocks_decided}  timeouts={self.timeouts}"
+        )
+
+
+def block_latencies(collector: MetricsCollector) -> dict[bytes, float]:
+    """Per-block proposal→execution latency, averaged over replicas."""
+    sums: dict[bytes, float] = {}
+    counts: dict[bytes, int] = {}
+    for d in collector.decisions:
+        t0 = collector.proposal_time(d.block_hash)
+        if t0 is None:
+            continue
+        sums[d.block_hash] = sums.get(d.block_hash, 0.0) + (d.time - t0)
+        counts[d.block_hash] = counts.get(d.block_hash, 0) + 1
+    return {h: sums[h] / counts[h] for h in sums}
+
+
+def compute_stats(collector: MetricsCollector) -> RunStats:
+    """Summarize a run; degenerate runs yield zeroed stats."""
+    decided = collector.decided_blocks()
+    lats = np.array(sorted(block_latencies(collector).values()))
+    ntx_by_block: dict[bytes, int] = {}
+    for d in collector.decisions:
+        ntx_by_block[d.block_hash] = d.ntxs
+    txs = sum(ntx_by_block.values())
+
+    if decided:
+        t_first = min(
+            (collector.proposal_time(h) or t) for h, t in decided.items()
+        )
+        t_last = max(decided.values())
+        duration = max(t_last - t_first, 1e-9)
+        tput = txs / duration
+    else:
+        duration = 0.0
+        tput = 0.0
+
+    return RunStats(
+        throughput_tps=tput,
+        mean_latency_s=float(lats.mean()) if lats.size else 0.0,
+        p50_latency_s=float(np.percentile(lats, 50)) if lats.size else 0.0,
+        p99_latency_s=float(np.percentile(lats, 99)) if lats.size else 0.0,
+        blocks_decided=len(decided),
+        txs_decided=txs,
+        views_decided=len(collector.execution_kinds()),
+        timeouts=collector.timeouts(),
+        duration_s=duration,
+    )
+
+
+def gain_pct(new: float, old: float) -> float:
+    """Percentage gain of ``new`` over ``old`` (paper's +X%)."""
+    if old <= 0:
+        return float("inf")
+    return (new / old - 1.0) * 100.0
+
+
+def decrease_pct(new: float, old: float) -> float:
+    """Percentage decrease of ``new`` w.r.t. ``old`` (paper's −X%)."""
+    if old <= 0:
+        return float("nan")
+    return (1.0 - new / old) * 100.0
+
+
+__all__ = [
+    "RunStats",
+    "block_latencies",
+    "compute_stats",
+    "gain_pct",
+    "decrease_pct",
+]

@@ -1,0 +1,91 @@
+"""Network-condition injectors.
+
+The paper's Sec. VIII-d studies *unstable and degraded* conditions by
+artificially triggering catch-up/piggyback executions.  These helpers
+install delay hooks on a :class:`~repro.net.network.Network` to slow
+specific nodes or time windows, which is how a leader "misses" the
+previous view's certificate and must fall back.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+from .network import DelayHook, Network
+
+
+def degrade_window(
+    network: Network,
+    start: float,
+    end: float,
+    extra_s: float,
+    nodes: Optional[Iterable[int]] = None,
+) -> DelayHook:
+    """Add ``extra_s`` to messages sent in ``[start, end)``.
+
+    If ``nodes`` is given, only messages from or to those nodes are
+    affected.  Returns the installed hook so callers can remove it.
+    """
+    node_set = frozenset(nodes) if nodes is not None else None
+
+    def hook(now: float, src: int, dst: int, size: int) -> float:
+        if not (start <= now < end):
+            return 0.0
+        if node_set is not None and src not in node_set and dst not in node_set:
+            return 0.0
+        return extra_s
+
+    network.delay_hooks.append(hook)
+    return hook
+
+
+def slow_node(
+    network: Network,
+    node: int,
+    extra_s: float,
+    start: float = 0.0,
+    end: float = math.inf,
+) -> DelayHook:
+    """Make every message from ``node`` take ``extra_s`` longer."""
+
+    def hook(now: float, src: int, dst: int, size: int) -> float:
+        if src == node and start <= now < end:
+            return extra_s
+        return 0.0
+
+    network.delay_hooks.append(hook)
+    return hook
+
+
+def isolate_node(
+    network: Network,
+    node: int,
+    start: float,
+    end: float,
+    delay_s: float = 60.0,
+) -> DelayHook:
+    """Effectively partition ``node`` during ``[start, end)``.
+
+    Links stay reliable (the paper assumes no loss), so isolation is a
+    very large delay rather than a drop: messages eventually arrive.
+    """
+
+    def hook(now: float, src: int, dst: int, size: int) -> float:
+        if (src == node or dst == node) and start <= now < end:
+            return delay_s
+        return 0.0
+
+    network.delay_hooks.append(hook)
+    return hook
+
+
+def remove_hook(network: Network, hook: DelayHook) -> None:
+    """Uninstall a previously installed hook (no-op if absent)."""
+    try:
+        network.delay_hooks.remove(hook)
+    except ValueError:
+        pass
+
+
+__all__ = ["degrade_window", "slow_node", "isolate_node", "remove_hook"]

@@ -1,0 +1,84 @@
+"""Propagation-latency models.
+
+A latency model maps a (src, dst) node pair to a one-way propagation
+delay sample.  Deployment experiments use :class:`TopologyLatency`
+(region RTT matrix halved, with multiplicative log-normal jitter);
+logic tests use :class:`ConstantLatency`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol
+
+import numpy as np
+
+from .regions import Topology
+
+
+class LatencyModel(Protocol):
+    """One-way propagation delay sampler."""
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        """Return a one-way delay in seconds for this transmission."""
+        ...
+
+
+class ConstantLatency:
+    """Fixed one-way delay between every pair of distinct nodes."""
+
+    def __init__(self, delay_s: float, loopback_s: float = 1e-6) -> None:
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay_s = delay_s
+        self.loopback_s = loopback_s
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        return self.loopback_s if src == dst else self.delay_s
+
+
+class UniformLatency:
+    """One-way delay drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low_s: float, high_s: float) -> None:
+        if not 0 <= low_s <= high_s:
+            raise ValueError("need 0 <= low <= high")
+        self.low_s = low_s
+        self.high_s = high_s
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        if src == dst:
+            return 1e-6
+        return float(rng.uniform(self.low_s, self.high_s))
+
+
+class TopologyLatency:
+    """Region-matrix latency with multiplicative log-normal jitter.
+
+    The jitter factor has median 1 and shape ``sigma`` (default 6 %),
+    matching the mild per-packet variance of inter-region links while
+    keeping region means equal to the paper's figures.
+    """
+
+    def __init__(self, topology: Topology, sigma: float = 0.06) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.topology = topology
+        self.sigma = sigma
+
+    def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
+        base = self.topology.one_way_s(src, dst)
+        if src == dst:
+            return 1e-6
+        if self.sigma == 0.0:
+            return base
+        jitter = math.exp(rng.normal(0.0, self.sigma))
+        return base * jitter
+
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "TopologyLatency",
+]

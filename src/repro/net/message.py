@@ -1,0 +1,45 @@
+"""Message envelopes and wire-size accounting.
+
+Protocol messages are plain Python objects; the network only needs to
+know *how big* they would be on the wire to charge NIC serialization.
+Message types expose ``wire_size()``; anything else is charged a small
+fixed overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: TCP/IP + framing overhead charged per message (bytes).
+HEADER_BYTES = 66
+
+
+def payload_size(payload: Any) -> int:
+    """Best-effort wire size of a protocol payload in bytes."""
+    ws = getattr(payload, "wire_size", None)
+    if callable(ws):
+        return int(ws())
+    return 64  # small control message default
+
+
+@dataclass
+class Envelope:
+    """A message in flight: addressing, payload, and accounting."""
+
+    src: int
+    dst: int
+    payload: Any
+    size: int
+    send_time: float
+    deliver_time: float = 0.0
+    seq: int = field(default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Envelope {self.src}->{self.dst} {type(self.payload).__name__} "
+            f"{self.size}B @{self.send_time:.6f}>"
+        )
+
+
+__all__ = ["Envelope", "payload_size", "HEADER_BYTES"]

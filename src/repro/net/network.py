@@ -1,0 +1,170 @@
+"""Reliable point-to-point network with partial synchrony.
+
+Semantics (Sec. IV of the paper):
+
+* fully connected, **reliable** — messages are never lost;
+* *partial synchrony* — there is a known bound Δ and an unknown GST
+  such that messages sent after GST arrive within Δ.  Before GST the
+  network may add arbitrary extra delay (bounded here by
+  ``pre_gst_extra`` to keep runs finite).
+
+Cost model: a message occupies the sender's NIC for
+``bytes/bandwidth`` (so broadcasting a 115.6 KB block to 60 peers
+serializes 60 copies), then travels for a one-way latency sampled from
+the latency model, plus any condition-injected delay.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Optional
+
+from ..sim import Nic, Process, Simulator
+from .latency import ConstantLatency, LatencyModel
+from .message import HEADER_BYTES, Envelope, payload_size
+
+#: A delay hook receives (now, src, dst, size) and returns extra seconds.
+DelayHook = Callable[[float, int, int, int], float]
+
+#: Default NIC bandwidth: 250 Mbit/s — t2.micro's sustainable
+#: inter-region throughput (its "low-to-moderate" class bursts to
+#: 1 Gbit/s but throttles under the broadcast-heavy steady state).
+DEFAULT_BANDWIDTH_BPS = 250e6
+
+
+class Network:
+    """Discrete-event message fabric connecting registered processes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        bandwidth_bps: float = DEFAULT_BANDWIDTH_BPS,
+        gst: float = 0.0,
+        delta: float = 0.5,
+        pre_gst_extra: float = 0.0,
+        fifo_links: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.latency: LatencyModel = latency or ConstantLatency(1e-4)
+        self.bandwidth_bps = bandwidth_bps
+        self.gst = gst
+        self.delta = delta
+        self.pre_gst_extra = pre_gst_extra
+        #: TCP-style per-connection ordering: with fifo_links a message
+        #: never overtakes an earlier message on the same (src, dst)
+        #: link (jitter can otherwise reorder within a link).
+        self.fifo_links = fifo_links
+        self._procs: dict[int, Process] = {}
+        self._nics: dict[int, Nic] = {}
+        self._seq = itertools.count()
+        self._rng = sim.rng.stream("net")
+        self.delay_hooks: list[DelayHook] = []
+        self._link_clock: dict[tuple[int, int], float] = {}
+        # accounting
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.message_log: Optional[list[Envelope]] = None
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, proc: Process, bandwidth_bps: Optional[float] = None) -> None:
+        """Attach a process (replica or client) to the fabric."""
+        if proc.pid in self._procs:
+            raise ValueError(f"pid {proc.pid} already registered")
+        self._procs[proc.pid] = proc
+        self._nics[proc.pid] = Nic(
+            bandwidth_bps or self.bandwidth_bps, name=f"nic{proc.pid}"
+        )
+
+    def attach_nic(self, pid: int, nic: Nic) -> None:
+        """Bind ``pid``'s outgoing traffic to an existing NIC.
+
+        Lets several logical processes share one physical interface —
+        e.g. parallel consensus instances co-located on one machine
+        (the multi-instance deployments of
+        :mod:`repro.experiments.parallel`).
+        """
+        if pid not in self._procs:
+            raise KeyError(f"unknown pid {pid}")
+        self._nics[pid] = nic
+
+    def process(self, pid: int) -> Process:
+        return self._procs[pid]
+
+    def nic(self, pid: int) -> Nic:
+        return self._nics[pid]
+
+    @property
+    def pids(self) -> list[int]:
+        return list(self._procs)
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def enable_log(self) -> None:
+        """Record every envelope (tests and trace experiments)."""
+        if self.message_log is None:
+            self.message_log = []
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, payload: Any) -> Envelope:
+        """Send ``payload`` from ``src`` to ``dst``; returns the envelope."""
+        if dst not in self._procs:
+            raise KeyError(f"unknown destination {dst}")
+        now = self.sim.now
+        size = payload_size(payload) + HEADER_BYTES
+        env = Envelope(
+            src=src,
+            dst=dst,
+            payload=payload,
+            size=size,
+            send_time=now,
+            seq=next(self._seq),
+        )
+        if src == dst:
+            # Loopback: no NIC occupancy, negligible latency.
+            deliver = now + 1e-6
+        else:
+            ser_end = self._nics[src].serialize(now, size)
+            prop = self.latency.sample(src, dst, self._rng)
+            extra = self._extra_delay(now, src, dst, size)
+            deliver = ser_end + prop + extra
+            if self.fifo_links:
+                link = (src, dst)
+                deliver = max(deliver, self._link_clock.get(link, 0.0))
+                self._link_clock[link] = deliver
+        env.deliver_time = deliver
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if self.message_log is not None:
+            self.message_log.append(env)
+        self.sim.schedule_at(
+            deliver,
+            self._deliver,
+            env,
+            label=f"deliver {src}->{dst}",
+        )
+        return env
+
+    def multicast(self, src: int, dsts: Iterable[int], payload: Any) -> list[Envelope]:
+        """Unicast fan-out to each destination (TCP-style, as in Salticidae)."""
+        return [self.send(src, dst, payload) for dst in dsts]
+
+    def _extra_delay(self, now: float, src: int, dst: int, size: int) -> float:
+        extra = 0.0
+        if now < self.gst and self.pre_gst_extra > 0:
+            # Pre-GST asynchrony: adversarially variable delay.
+            extra += float(self._rng.uniform(0.0, self.pre_gst_extra))
+        for hook in self.delay_hooks:
+            extra += max(0.0, hook(now, src, dst, size))
+        return extra
+
+    def _deliver(self, env: Envelope) -> None:
+        self._procs[env.dst].on_message(env.src, env.payload)
+
+
+__all__ = ["Network", "DelayHook", "DEFAULT_BANDWIDTH_BPS"]

@@ -1,0 +1,6 @@
+"""Consensus protocols: the shared replica machinery plus the HotStuff
+and Damysus baselines.  OneShot itself lives in :mod:`repro.core`."""
+
+from .common import BaseReplica, Cluster, ProtocolConfig, build_cluster
+
+__all__ = ["BaseReplica", "Cluster", "ProtocolConfig", "build_cluster"]

@@ -1,0 +1,17 @@
+"""Shared protocol machinery: configuration, pacemaker, quorum
+tracking, the replica base class, and cluster assembly."""
+
+from .base import BaseReplica
+from .cluster import Cluster, build_cluster
+from .config import ProtocolConfig
+from .pacemaker import Pacemaker
+from .quorum import QuorumTracker
+
+__all__ = [
+    "BaseReplica",
+    "Cluster",
+    "build_cluster",
+    "ProtocolConfig",
+    "Pacemaker",
+    "QuorumTracker",
+]

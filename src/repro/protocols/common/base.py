@@ -1,0 +1,258 @@
+"""Replica base class shared by OneShot, Damysus and HotStuff.
+
+Provides everything that is *not* protocol logic: CPU cost charging,
+deferred sends, the view pacemaker, round-robin leader election,
+block storage, commit walks (execute a block and its unexecuted
+ancestors), client replies, and message dispatch.  Protocol packages
+subclass this and implement the paper's pseudocode on top.
+
+Replica pids are ``0..n-1``; clients register with pids ≥ 1000.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Type
+
+from ...crypto import Digest
+from ...net import Network
+from ...metrics import MetricsCollector
+from ...sim import Cpu, Process, Simulator
+from ...smr import Block, BlockStore, ChainError, ExecutionLog, Mempool, Reply, SubmitTx
+from ...tee import Credentials
+from .config import ProtocolConfig
+from .pacemaker import Pacemaker
+
+
+class BaseReplica(Process):
+    """Common machinery for a consensus replica."""
+
+    #: Resilience factor: n >= MIN_N_FACTOR * f + 1.
+    MIN_N_FACTOR = 2
+    #: Protocol name for registries and reports; subclasses set it.
+    PROTOCOL = "base"
+    #: Whether replies to clients carry a certificate (single-reply trust).
+    CERTIFIED_REPLIES = False
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: int,
+        config: ProtocolConfig,
+        credentials: Credentials,
+        mempool: Mempool,
+        collector: MetricsCollector,
+    ) -> None:
+        super().__init__(sim, pid, name=f"r{pid}")
+        config.validate(self.MIN_N_FACTOR)
+        self.network = network
+        self.config = config
+        self.creds = credentials
+        self.ring = credentials.ring
+        self.mempool = mempool
+        self.collector = collector
+        self.cpu = Cpu(name=f"cpu{pid}")
+        self.store = BlockStore()
+        self.log = ExecutionLog()
+        self.view = 0
+        self.pacemaker = Pacemaker(
+            config.timeout_base, config.timeout_backoff, config.timeout_max
+        )
+        self.view_timer = self.make_timer(self._view_timeout)
+        self.peers = list(range(config.n))
+        self.clients: dict[int, int] = {}
+        self.stopped = False
+        self._handlers: dict[Type, Callable[[int, Any], None]] = {}
+        #: hash -> (exec kind, triggering certificate) awaiting ancestors.
+        self._pending_commits: dict[Digest, tuple[str, Any]] = {}
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    def leader_of(self, view: int) -> int:
+        """Deterministic round-robin leader election (Sec. IV)."""
+        return view % self.config.n
+
+    def is_leader(self, view: Optional[int] = None) -> bool:
+        return self.leader_of(self.view if view is None else view) == self.pid
+
+    # ------------------------------------------------------------------
+    # CPU accounting and deferred sends
+    # ------------------------------------------------------------------
+    def charge(self, seconds: float) -> float:
+        """Occupy this replica's core; returns the completion time."""
+        return self.cpu.occupy(self.sim.now, seconds)
+
+    def charge_enclave(self, enclave) -> float:
+        """Drain an enclave's accrued ecall/crypto time onto the CPU."""
+        return self.charge(enclave.drain_cost())
+
+    def send_at(self, when: float, dst: int, payload: Any) -> None:
+        """Transmit once the CPU work producing ``payload`` is done."""
+        if when <= self.sim.now:
+            self.network.send(self.pid, dst, payload)
+        else:
+            self.sim.schedule_at(
+                when, self.network.send, self.pid, dst, payload,
+                label=f"{self.name} tx",
+            )
+
+    def broadcast_at(self, when: float, payload: Any, include_self: bool = True) -> None:
+        for dst in self.peers:
+            if dst == self.pid and not include_self:
+                continue
+            self.send_at(when, dst, payload)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def register_handler(
+        self, msg_type: Type, handler: Callable[[int, Any], None]
+    ) -> None:
+        self._handlers[msg_type] = handler
+
+    def on_message(self, sender: int, payload: Any) -> None:
+        if self.stopped:
+            return
+        if isinstance(payload, SubmitTx):
+            self._on_submit(sender, payload)
+            return
+        handler = self._handlers.get(type(payload))
+        if handler is not None:
+            self.charge(self.config.handler_overhead)
+            handler(sender, payload)
+
+    def _on_submit(self, sender: int, msg: SubmitTx) -> None:
+        self.clients[msg.tx.client_id] = sender
+        self.mempool.submit(msg.tx)
+
+    # ------------------------------------------------------------------
+    # Views and the pacemaker
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot the replica: enter view 0 and run the protocol hook."""
+        self.enter_view(0)
+        self.on_start()
+
+    def enter_view(self, view: int) -> None:
+        """Move to ``view`` (monotonic) and re-arm the view timer."""
+        if view < self.view:
+            raise ValueError(f"view regression {self.view} -> {view}")
+        self.view = view
+        self.view_timer.start(self.pacemaker.current_timeout())
+        self.on_enter_view(view)
+
+    def _view_timeout(self) -> None:
+        if self.stopped:
+            return
+        self.collector.on_view_outcome(self.pid, self.view, "timeout", self.sim.now)
+        self.pacemaker.on_timeout()
+        self.on_timeout()
+
+    def stop(self) -> None:
+        self.stopped = True
+        self.view_timer.cancel()
+
+    # Protocol hooks -----------------------------------------------------
+    def on_start(self) -> None:
+        """Called once at boot (after entering view 0)."""
+
+    def on_enter_view(self, view: int) -> None:
+        """Called whenever the replica enters a view."""
+
+    def on_timeout(self) -> None:
+        """Called when the current view's timer fires."""
+        raise NotImplementedError
+
+    def on_missing_block(self, h: Digest, context: Any = None) -> None:
+        """A commit needs block ``h`` but it is not stored (fetch hook)."""
+
+    # ------------------------------------------------------------------
+    # Blocks and commits
+    # ------------------------------------------------------------------
+    def add_block(self, block: Block) -> None:
+        """Store a block and retry any commit that was waiting on it."""
+        self.store.add(block)
+        if self._pending_commits:
+            for h, (kind, context) in list(self._pending_commits.items()):
+                if self._try_commit(h, kind):
+                    self._pending_commits.pop(h, None)
+                else:
+                    # Still gaps below: fetch the next missing ancestor.
+                    self._request_missing_ancestor(h, context)
+
+    def commit_chain(self, h: Digest, kind: str, context: Any = None) -> bool:
+        """Execute the block with hash ``h`` and all unexecuted ancestors.
+
+        Returns False (and remembers the commit for retry) when some
+        ancestor block has not been received yet; the protocol's
+        fetch/pull hook is invoked on the *first missing* ancestor in
+        that case — the nodes certifying ``context`` executed ``h``'s
+        whole chain, so they can serve any block on it.
+        """
+        if self.log.is_executed(h):
+            return True
+        if self._try_commit(h, kind):
+            return True
+        self._pending_commits[h] = (kind, context)
+        self._request_missing_ancestor(h, context)
+        return False
+
+    def first_missing_ancestor(self, h: Digest) -> Optional[Digest]:
+        """Deepest hash on ``h``'s ancestry path with no stored block."""
+        cur = h
+        while not self.log.is_executed(cur):
+            blk = self.store.get(cur)
+            if blk is None:
+                return cur
+            cur = blk.parent
+        return None
+
+    def _request_missing_ancestor(self, h: Digest, context: Any) -> None:
+        missing = self.first_missing_ancestor(h)
+        if missing is not None:
+            self.on_missing_block(missing, context)
+
+    def _try_commit(self, h: Digest, kind: str) -> bool:
+        try:
+            path = self.store.path_from(h, self.log.executed)
+        except ChainError:
+            return False
+        # Execution happens once the CPU drains the verification work
+        # charged for the triggering certificate.
+        now = max(self.sim.now, self.cpu.busy_until)
+        for blk in path:
+            self.log.execute(blk, now)
+            self.collector.on_execute(
+                self.pid, blk.view, blk.hash, len(blk.txs), now, kind
+            )
+            self._reply_clients(blk, now)
+        return True
+
+    def _reply_clients(self, block: Block, when: float) -> None:
+        for tx in block.txs:
+            self.mempool.mark_committed(tx)
+            if not self.config.reply_to_clients:
+                continue
+            dst = self.clients.get(tx.client_id)
+            if dst is None:
+                continue
+            self.send_at(
+                when,
+                dst,
+                Reply(
+                    tx_key=tx.key(),
+                    view=block.view,
+                    replica=self.pid,
+                    certified=self.CERTIFIED_REPLIES,
+                ),
+            )
+
+    def record_decision_progress(self) -> None:
+        """Common bookkeeping when a view decides."""
+        self.pacemaker.on_progress()
+        self.collector.on_view_outcome(self.pid, self.view, "decide", self.sim.now)
+
+
+__all__ = ["BaseReplica"]

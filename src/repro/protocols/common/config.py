@@ -1,0 +1,55 @@
+"""Cluster/protocol configuration shared by all three protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...crypto import T2_MICRO, CryptoCostModel
+from ...tee import TeeCostModel
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Static parameters of a protocol instance.
+
+    ``n`` and ``f`` must satisfy the protocol's resilience bound:
+    ``n >= 2f+1`` for OneShot/Damysus, ``n >= 3f+1`` for HotStuff —
+    enforced by each protocol's ``check_resilience``.
+    """
+
+    n: int
+    f: int
+    crypto_costs: CryptoCostModel = T2_MICRO
+    tee_costs: TeeCostModel = field(default_factory=TeeCostModel)
+    #: Base view timeout (seconds) before exponential backoff.
+    timeout_base: float = 2.0
+    #: Backoff multiplier per consecutive failed view.
+    timeout_backoff: float = 2.0
+    #: Cap on the timeout after backoff.
+    timeout_max: float = 60.0
+    #: Fixed per-message handling overhead (dispatch, deserialization).
+    handler_overhead: float = 5e-6
+    #: Whether replicas send Reply messages to registered clients.
+    reply_to_clients: bool = True
+
+    @property
+    def quorum(self) -> int:
+        """Votes needed for a certificate: ``f+1`` (hybrid protocols).
+
+        HotStuff overrides its quorum to ``2f+1`` in its replica class.
+        """
+        return self.f + 1
+
+    def validate(self, min_n_factor: int) -> None:
+        """Check ``n >= min_n_factor * f + 1`` and basic sanity."""
+        if self.f < 0:
+            raise ValueError("f must be non-negative")
+        if self.n < min_n_factor * self.f + 1:
+            raise ValueError(
+                f"need n >= {min_n_factor}f+1, got n={self.n}, f={self.f}"
+            )
+        if self.timeout_base <= 0 or self.timeout_backoff < 1:
+            raise ValueError("invalid pacemaker parameters")
+
+
+__all__ = ["ProtocolConfig"]

@@ -1,0 +1,42 @@
+"""View pacemaker: timeouts with exponential backoff.
+
+As in HotStuff (and inherited by Damysus/OneShot), replicas give each
+view a timeout that doubles after every consecutive failed view and
+resets on a decision.  After GST this guarantees some view lasts long
+enough for a correct leader to drive a decision (Lemma 2).
+"""
+
+from __future__ import annotations
+
+
+class Pacemaker:
+    """Per-replica timeout policy."""
+
+    def __init__(
+        self,
+        base: float,
+        backoff: float = 2.0,
+        maximum: float = 60.0,
+    ) -> None:
+        if base <= 0 or backoff < 1 or maximum < base:
+            raise ValueError("invalid pacemaker parameters")
+        self.base = base
+        self.backoff = backoff
+        self.maximum = maximum
+        self.consecutive_failures = 0
+
+    def current_timeout(self) -> float:
+        """Timeout to arm for the current view."""
+        t = self.base * (self.backoff ** self.consecutive_failures)
+        return min(t, self.maximum)
+
+    def on_timeout(self) -> None:
+        """A view ended by timing out — back off."""
+        self.consecutive_failures += 1
+
+    def on_progress(self) -> None:
+        """A view decided — reset the backoff."""
+        self.consecutive_failures = 0
+
+
+__all__ = ["Pacemaker"]

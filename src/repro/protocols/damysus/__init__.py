@@ -1,0 +1,19 @@
+"""Damysus (EuroSys'22) baseline: streamlined hybrid BFT with two core
+phases, N = 2f+1, CHECKER + ACCUMULATOR trusted components."""
+
+from .certificates import COMMIT, PREPARE, Commitment, DamAccum, DamCert, DamProposal, DamVote
+from .replica import DamysusReplica
+from .tee_services import DamysusAccumulator, DamysusChecker
+
+__all__ = [
+    "COMMIT",
+    "PREPARE",
+    "Commitment",
+    "DamAccum",
+    "DamCert",
+    "DamProposal",
+    "DamVote",
+    "DamysusReplica",
+    "DamysusAccumulator",
+    "DamysusChecker",
+]

@@ -1,0 +1,358 @@
+"""Chained (pipelined) Damysus.
+
+Sec. III: "Like Chained-HotStuff, Chained-Damysus supports pipelined
+operations for improved performance."  One block per view, two waves
+per view, and Damysus's 2-chain commit: block b is decided once a
+prepare certificate exists for a direct child of b (two TEE-guarded
+f+1 quorums on the chain).
+
+* view v's leader proposes ⟨b_v, prop, justify⟩ where ``justify`` is
+  either the prepare certificate of b_{v-1} (steady state) or an
+  ACCUMULATOR certificate (after a timeout);
+* replicas verify the justify *inside the CHECKER*, which records the
+  prepared pair and signs a once-per-view vote, sent to view v+1's
+  leader;
+* on timeout, replicas ship their CHECKER commitment to the next
+  leader, whose ACCUMULATOR selects the highest prepared pair — the
+  basic protocol's view-change machinery, unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ...crypto import CryptoCostModel, Digest, KeyPair, KeyRing
+from ...metrics import NORMAL
+from ...smr import GENESIS, Block, create_leaf
+from ...tee import Enclave, TeeCostModel
+from ..common import BaseReplica, QuorumTracker
+from .certificates import (
+    PREPARE,
+    Commitment,
+    DamAccum,
+    DamCert,
+    DamProposal,
+    commitment_digest,
+    proposal_digest,
+    vote_digest,
+)
+from .messages import DamFetchReq, DamFetchResp, DamNewViewMsg, DamVoteMsg
+from .tee_services import DamysusAccumulator
+
+#: A chained proposal's justification.
+Justify = Union[DamCert, DamAccum]
+
+
+@dataclass(frozen=True)
+class ChainedDamProposalMsg:
+    """⟨block, proposal, justify⟩ — the chained prepare wave."""
+
+    block: Block
+    proposal: DamProposal
+    justify: Justify
+
+    def wire_size(self) -> int:
+        return (
+            8
+            + self.block.wire_size()
+            + self.proposal.wire_size()
+            + self.justify.wire_size()
+        )
+
+
+class ChainedDamysusChecker(Enclave):
+    """CHECKER for chained operation: one proposal and one vote per
+    view, with the prepared pair updated in-enclave from the verified
+    justify certificate."""
+
+    def __init__(
+        self,
+        owner: int,
+        keypair: KeyPair,
+        ring: KeyRing,
+        crypto_costs: CryptoCostModel,
+        tee_costs: TeeCostModel,
+        quorum: int,
+    ) -> None:
+        super().__init__(owner, keypair, ring, crypto_costs, tee_costs)
+        self.quorum = quorum
+        self.voted_view = -1
+        self.proposed_view = -1
+        self.prep_view = -1
+        self.prep_hash: Digest = GENESIS.hash
+
+    def tee_propose(self, h: Digest, view: int) -> Optional[DamProposal]:
+        """Sign a proposal; monotonic, once per view."""
+        self._enter()
+        if view <= self.proposed_view:
+            return None
+        self.proposed_view = view
+        return DamProposal(
+            block_hash=h, view=view, sig=self._sign(proposal_digest(h, view))
+        )
+
+    def tee_vote_chained(self, h: Digest, view: int, justify: Justify):
+        """Verify the justify in-enclave, record the prepared pair, and
+        sign the once-per-view prepare vote."""
+        from .certificates import DamVote
+
+        self._enter()
+        if view <= self.voted_view:
+            return None
+        if isinstance(justify, DamCert):
+            self._charge(
+                self._crypto.verify(len(justify.sigs)) * self._tee.crypto_factor
+            )
+            if justify.phase != PREPARE or not justify.verify(self._ring, self.quorum):
+                return None
+            if justify.view >= self.prep_view:
+                self.prep_view = justify.view
+                self.prep_hash = justify.block_hash
+        elif isinstance(justify, DamAccum):
+            self._charge(self._crypto.verify() * self._tee.crypto_factor)
+            if not justify.verify(self._ring):
+                return None
+        else:
+            return None
+        self.voted_view = view
+        return DamVote(
+            block_hash=h,
+            view=view,
+            phase=PREPARE,
+            sig=self._sign(vote_digest(h, view, PREPARE)),
+        )
+
+    def new_view(self, view: int) -> Optional[Commitment]:
+        """Timeout commitment: the latest prepared pair, tagged ``view``."""
+        self._enter()
+        if view <= self.voted_view and view <= self.proposed_view:
+            pass  # commitments may be re-issued for higher views only
+        return Commitment(
+            prep_view=self.prep_view,
+            prep_hash=self.prep_hash,
+            view=view,
+            sig=self._sign(
+                commitment_digest(self.prep_view, self.prep_hash, view)
+            ),
+        )
+
+
+class ChainedDamysusReplica(BaseReplica):
+    """Chained Damysus: one block per view, 2-chain commit."""
+
+    MIN_N_FACTOR = 2
+    PROTOCOL = "damysus-chained"
+    CERTIFIED_REPLIES = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        cfg = self.config
+        self.checker = ChainedDamysusChecker(
+            self.pid,
+            self.creds.keypair,
+            self.ring,
+            cfg.crypto_costs,
+            cfg.tee_costs,
+            cfg.quorum,
+        )
+        self.accumulator = DamysusAccumulator(
+            self.pid,
+            self.creds.keypair,
+            self.ring,
+            cfg.crypto_costs,
+            cfg.tee_costs,
+            cfg.quorum,
+        )
+        #: block hash -> prepare certificate (for the 2-chain walk).
+        self._cert_of: dict[Digest, DamCert] = {}
+        self._com_tracker = QuorumTracker(cfg.quorum)
+        self._vote_tracker = QuorumTracker(cfg.quorum)
+        self._led_view = -1
+        self._fetching: set[Digest] = set()
+        for mtype, handler in (
+            (DamNewViewMsg, self.on_new_view),
+            (ChainedDamProposalMsg, self.on_proposal),
+            (DamVoteMsg, self.on_vote),
+            (DamFetchReq, self.on_fetch_req),
+            (DamFetchResp, self.on_fetch_resp),
+        ):
+            self.register_handler(mtype, handler)
+
+    # ------------------------------------------------------------------
+    # Bootstrap & timeout: commitments to the (next) leader
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        self._send_commitment(0)
+
+    def on_enter_view(self, view: int) -> None:
+        if view % 64 == 0:
+            self._com_tracker.clear_below(view - 4)
+            self._vote_tracker.clear_below(view - 4)
+
+    def on_timeout(self) -> None:
+        self.enter_view(self.view + 1)
+        self._send_commitment(self.view)
+
+    def _send_commitment(self, view: int) -> None:
+        com = self.checker.new_view(view)
+        done = self.charge_enclave(self.checker)
+        if com is not None:
+            self.send_at(done, self.leader_of(view), DamNewViewMsg(com))
+
+    # ------------------------------------------------------------------
+    # Leader paths: from commitments (recovery) or votes (steady state)
+    # ------------------------------------------------------------------
+    def on_new_view(self, sender: int, msg: DamNewViewMsg) -> None:
+        com = msg.commitment
+        if com.view < self.view or self.leader_of(com.view) != self.pid:
+            return
+        if sender != self.pid:
+            self.charge(self.config.crypto_costs.verify(1))
+            if not com.verify(self.ring):
+                return
+        quorum = self._com_tracker.add(com.view, com.sig.signer, com)
+        if quorum is None:
+            return
+        if com.view > self.view:
+            self.enter_view(com.view)
+        if com.view != self.view or self._led_view >= self.view:
+            return
+        acc = self.accumulator.tee_accum(quorum)
+        self.charge_enclave(self.accumulator)
+        if acc is None:  # pragma: no cover - commitments pre-verified
+            return
+        self._propose(acc.prep_hash, acc)
+
+    def on_vote(self, sender: int, msg: DamVoteMsg) -> None:
+        vote = msg.vote
+        v = vote.view  # votes of view v elect the leader of v+1
+        if vote.phase != PREPARE or self.leader_of(v + 1) != self.pid:
+            return
+        if v + 1 < self.view:
+            return
+        if sender != self.pid:
+            self.charge(self.config.crypto_costs.verify(1))
+            if not vote.verify(self.ring):
+                return
+        quorum = self._vote_tracker.add(
+            (v, vote.block_hash), vote.sig.signer, vote
+        )
+        if quorum is None:
+            return
+        cert = DamCert(
+            block_hash=vote.block_hash,
+            view=v,
+            phase=PREPARE,
+            sigs=tuple(x.sig for x in quorum),
+        )
+        self._register_cert(cert)
+        if v + 1 > self.view:
+            self.enter_view(v + 1)
+        if self.view != v + 1 or self._led_view >= self.view:
+            return
+        self._propose(cert.block_hash, cert)
+
+    def _propose(self, parent: Digest, justify: Justify) -> None:
+        block = create_leaf(
+            parent, self.view, self.mempool.next_batch(self.sim.now), self.pid
+        )
+        self.charge(self.config.crypto_costs.hash(block.wire_size()))
+        prop = self.checker.tee_propose(block.hash, self.view)
+        done = self.charge_enclave(self.checker)
+        if prop is None:
+            return
+        self._led_view = self.view
+        self.add_block(block)
+        self.collector.on_propose(self.pid, self.view, block.hash, self.sim.now)
+        self.broadcast_at(done, ChainedDamProposalMsg(block, prop, justify))
+
+    # ------------------------------------------------------------------
+    # Replicas: vote to the next leader, 2-chain commit walk
+    # ------------------------------------------------------------------
+    def on_proposal(self, sender: int, msg: ChainedDamProposalMsg) -> None:
+        prop, justify = msg.proposal, msg.justify
+        v = prop.view
+        if v < self.view or sender != self.leader_of(v):
+            return
+        if sender != self.pid:
+            # Untrusted pre-check (Sec. III: verify before processing);
+            # the CHECKER re-verifies the justify in-enclave.
+            nsigs = len(justify.sigs) if isinstance(justify, DamCert) else 1
+            self.charge(
+                self.config.crypto_costs.verify(1 + nsigs)
+                + self.config.crypto_costs.hash(msg.block.wire_size())
+            )
+            if not prop.verify(self.ring):
+                return
+        if prop.sig.signer != self.leader_of(v) or msg.block.hash != prop.block_hash:
+            return
+        parent = (
+            justify.block_hash
+            if isinstance(justify, DamCert)
+            else justify.prep_hash
+        )
+        if not msg.block.extends(parent):
+            return
+        if isinstance(justify, DamAccum) and justify.view != v:
+            return
+        if v > self.view:
+            self.enter_view(v)
+        if v != self.view:
+            return
+        self.add_block(msg.block)
+        # A valid proposal is pipeline progress: reset the backoff even
+        # when the k-chain commit still lags (e.g. around failed views).
+        self.pacemaker.on_progress()
+        if isinstance(justify, DamCert):
+            self._register_cert(justify)
+        vote = self.checker.tee_vote_chained(msg.block.hash, v, justify)
+        done = self.charge_enclave(self.checker)
+        if vote is None:
+            return
+        self.send_at(done, self.leader_of(v + 1), DamVoteMsg(vote))
+
+    def _register_cert(self, cert: DamCert) -> None:
+        """Record a prepare certificate and run the 2-chain commit."""
+        if cert.block_hash in self._cert_of:
+            return
+        self._cert_of[cert.block_hash] = cert
+        b1 = self.store.get(cert.block_hash)
+        if b1 is None:
+            return
+        cert0 = self._cert_of.get(b1.parent)
+        if cert0 is None:
+            return
+        # 2-chain: b0 <- b1, both certified with a direct parent link.
+        if not self.log.is_executed(cert0.block_hash):
+            self.commit_chain(cert0.block_hash, NORMAL, context=cert0)
+            self.record_decision_progress()
+
+    # ------------------------------------------------------------------
+    # Block fetch
+    # ------------------------------------------------------------------
+    def on_missing_block(self, h: Digest, context=None) -> None:
+        if h in self._fetching or context is None:
+            return
+        self._fetching.add(h)
+        targets = [i for i in context.signer_ids() if i != self.pid]
+        if targets:
+            self.network.send(self.pid, targets[0], DamFetchReq(h))
+
+    def on_fetch_req(self, sender: int, msg: DamFetchReq) -> None:
+        block = self.store.get(msg.block_hash)
+        if block is not None:
+            done = self.charge(self.config.handler_overhead)
+            self.send_at(done, sender, DamFetchResp(block))
+
+    def on_fetch_resp(self, sender: int, msg: DamFetchResp) -> None:
+        self.charge(self.config.crypto_costs.hash(msg.block.wire_size()))
+        self._fetching.discard(msg.block.hash)
+        self.add_block(msg.block)
+
+
+__all__ = [
+    "ChainedDamysusReplica",
+    "ChainedDamysusChecker",
+    "ChainedDamProposalMsg",
+]

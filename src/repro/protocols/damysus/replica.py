@@ -1,0 +1,256 @@
+"""Damysus replica (baseline) — the six-step view of Sec. III.
+
+1. **new-view**: every replica's CHECKER signs a commitment with its
+   latest prepared (view, hash) pair, sent to the view's leader.
+2. **prepare (a)**: the leader feeds f+1 commitments to its
+   ACCUMULATOR, extends the highest prepared block, and broadcasts the
+   proposal with the accumulator's certificate.
+3. **prepare (b)**: replicas verify and reply with a prepare vote.
+4. **pre-commit (a)**: the leader combines f+1 prepare votes into a
+   certificate and broadcasts it.
+5. **pre-commit (b)**: replicas store the prepared pair *inside the
+   CHECKER* (which verifies the quorum in-enclave) and reply with a
+   commit vote.
+6. **decide**: the leader broadcasts the combined commit certificate
+   and replicas execute.
+
+Replicas skip signature verification for material they produced
+themselves (loopback deliveries), as a real implementation would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...crypto import Digest
+from ...metrics import NORMAL
+from ...smr import create_leaf
+from ..common import BaseReplica, QuorumTracker
+from .certificates import COMMIT, PREPARE, DamCert, DamProposal
+from .messages import (
+    DamCertMsg,
+    DamFetchReq,
+    DamFetchResp,
+    DamNewViewMsg,
+    DamProposalMsg,
+    DamVoteMsg,
+)
+from .tee_services import DamysusAccumulator, DamysusChecker
+
+
+class DamysusReplica(BaseReplica):
+    """A Damysus replica (N = 2f+1, two core phases)."""
+
+    MIN_N_FACTOR = 2
+    PROTOCOL = "damysus"
+    CERTIFIED_REPLIES = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        cfg = self.config
+        self.checker = DamysusChecker(
+            self.pid,
+            self.creds.keypair,
+            self.ring,
+            cfg.crypto_costs,
+            cfg.tee_costs,
+            cfg.quorum,
+        )
+        self.accumulator = DamysusAccumulator(
+            self.pid,
+            self.creds.keypair,
+            self.ring,
+            cfg.crypto_costs,
+            cfg.tee_costs,
+            cfg.quorum,
+        )
+        self._com_tracker = QuorumTracker(cfg.quorum)
+        self._vote_tracker = QuorumTracker(cfg.quorum)
+        self._led_view = -1
+        self._current_hash: dict[int, Digest] = {}  # view -> proposed hash
+        self._fetching: set[Digest] = set()
+        for mtype, handler in (
+            (DamNewViewMsg, self.on_new_view),
+            (DamProposalMsg, self.on_proposal),
+            (DamVoteMsg, self.on_vote),
+            (DamCertMsg, self.on_cert),
+            (DamFetchReq, self.on_fetch_req),
+            (DamFetchResp, self.on_fetch_resp),
+        ):
+            self.register_handler(mtype, handler)
+
+    # ------------------------------------------------------------------
+    # View entry / timeout: step 1 (new-view)
+    # ------------------------------------------------------------------
+    def on_enter_view(self, view: int) -> None:
+        if view % 64 == 0:
+            self._com_tracker.clear_below(view - 4)
+            self._vote_tracker.clear_below(view - 4)
+        com = self.checker.new_view(view)
+        done = self.charge_enclave(self.checker)
+        if com is None:  # pragma: no cover - views are monotonic
+            return
+        self.send_at(done, self.leader_of(view), DamNewViewMsg(com))
+
+    def on_timeout(self) -> None:
+        self.enter_view(self.view + 1)
+
+    # ------------------------------------------------------------------
+    # Leader: accumulate commitments, propose (step 2)
+    # ------------------------------------------------------------------
+    def on_new_view(self, sender: int, msg: DamNewViewMsg) -> None:
+        com = msg.commitment
+        if com.view < self.view or self.leader_of(com.view) != self.pid:
+            return
+        if sender != self.pid:
+            self.charge(self.config.crypto_costs.verify(1))
+            if not com.verify(self.ring):
+                return
+        quorum = self._com_tracker.add(com.view, com.sig.signer, com)
+        if quorum is None:
+            return
+        if com.view > self.view:
+            self.enter_view(com.view)
+        if com.view != self.view or self._led_view >= self.view:
+            return
+        acc = self.accumulator.tee_accum(quorum)
+        self.charge_enclave(self.accumulator)
+        if acc is None:  # pragma: no cover - commitments pre-verified
+            return
+        block = create_leaf(
+            acc.prep_hash, self.view, self.mempool.next_batch(self.sim.now), self.pid
+        )
+        self.charge(self.config.crypto_costs.hash(block.wire_size()))
+        prop = self.checker.tee_prepare(block.hash)
+        done = self.charge_enclave(self.checker)
+        if prop is None:
+            return
+        self._led_view = self.view
+        self.add_block(block)
+        self.collector.on_propose(self.pid, self.view, block.hash, self.sim.now)
+        self.broadcast_at(done, DamProposalMsg(block, prop, acc))
+
+    # ------------------------------------------------------------------
+    # Replicas: prepare vote (step 3)
+    # ------------------------------------------------------------------
+    def on_proposal(self, sender: int, msg: DamProposalMsg) -> None:
+        prop, acc = msg.proposal, msg.acc
+        v = prop.view
+        if v < self.view or sender != self.leader_of(v):
+            return
+        if sender != self.pid:
+            self.charge(
+                self.config.crypto_costs.verify(2)
+                + self.config.crypto_costs.hash(msg.block.wire_size())
+            )
+            if not (prop.verify(self.ring) and acc.verify(self.ring)):
+                return
+        if (
+            acc.view != v
+            or prop.sig.signer != self.leader_of(v)
+            or msg.block.hash != prop.block_hash
+            or not msg.block.extends(acc.prep_hash)
+        ):
+            return
+        if v > self.view:
+            self.enter_view(v)
+        if v != self.view:
+            return
+        self.add_block(msg.block)
+        self._current_hash[v] = msg.block.hash
+        vote = self.checker.tee_vote_prepare(msg.block.hash)
+        done = self.charge_enclave(self.checker)
+        if vote is None:
+            return
+        self.send_at(done, sender, DamVoteMsg(vote))
+
+    # ------------------------------------------------------------------
+    # Leader: combine votes (steps 4 & 6)
+    # ------------------------------------------------------------------
+    def on_vote(self, sender: int, msg: DamVoteMsg) -> None:
+        vote = msg.vote
+        v = self.view
+        if vote.view != v or self._led_view != v:
+            return
+        if self._current_hash.get(v) != vote.block_hash:
+            return
+        if sender != self.pid:
+            self.charge(self.config.crypto_costs.verify(1))
+            if not vote.verify(self.ring):
+                return
+        quorum = self._vote_tracker.add(
+            (v, vote.phase, vote.block_hash), vote.sig.signer, vote
+        )
+        if quorum is None:
+            return
+        cert = DamCert(
+            block_hash=vote.block_hash,
+            view=v,
+            phase=vote.phase,
+            sigs=tuple(x.sig for x in quorum),
+        )
+        done = max(self.sim.now, self.cpu.busy_until)
+        self.broadcast_at(done, DamCertMsg(cert))
+
+    # ------------------------------------------------------------------
+    # Replicas: store + commit vote (step 5), execute (after step 6)
+    # ------------------------------------------------------------------
+    def on_cert(self, sender: int, msg: DamCertMsg) -> None:
+        cert = msg.cert
+        v = cert.view
+        if v < self.view or sender != self.leader_of(v):
+            return
+        if cert.phase == PREPARE:
+            if v != self.view:
+                return  # prepare certs are only actionable in-view
+            # Sec. III: every node verifies message authenticity before
+            # processing; the CHECKER then re-verifies inside the
+            # enclave before mutating its prepared pair (it cannot
+            # trust the untrusted side's check).
+            if sender != self.pid:
+                self.charge(self.config.crypto_costs.verify(len(cert.sigs)))
+                if not cert.verify(self.ring, self.config.quorum):
+                    return
+            commit_vote = self.checker.tee_store(cert)
+            done = self.charge_enclave(self.checker)
+            if commit_vote is None:
+                return
+            self.send_at(done, sender, DamVoteMsg(commit_vote))
+            return
+        # COMMIT certificate: verify and execute.
+        if sender != self.pid:
+            self.charge(self.config.crypto_costs.verify(len(cert.sigs)))
+            if not cert.verify(self.ring, self.config.quorum):
+                return
+        if v > self.view:
+            self.enter_view(v)
+        if v != self.view:
+            return
+        self.commit_chain(cert.block_hash, NORMAL, context=cert)
+        self.record_decision_progress()
+        self.enter_view(v + 1)
+
+    # ------------------------------------------------------------------
+    # Block fetch (recovery)
+    # ------------------------------------------------------------------
+    def on_missing_block(self, h: Digest, context: Any = None) -> None:
+        if h in self._fetching or context is None:
+            return
+        self._fetching.add(h)
+        targets = [i for i in context.signer_ids() if i != self.pid]
+        if targets:
+            self.network.send(self.pid, targets[0], DamFetchReq(h))
+
+    def on_fetch_req(self, sender: int, msg: DamFetchReq) -> None:
+        block = self.store.get(msg.block_hash)
+        if block is not None:
+            done = self.charge(self.config.handler_overhead)
+            self.send_at(done, sender, DamFetchResp(block))
+
+    def on_fetch_resp(self, sender: int, msg: DamFetchResp) -> None:
+        self.charge(self.config.crypto_costs.hash(msg.block.wire_size()))
+        self._fetching.discard(msg.block.hash)
+        self.add_block(msg.block)
+
+
+__all__ = ["DamysusReplica"]

@@ -1,0 +1,24 @@
+"""Basic HotStuff (PODC'19) baseline: three core phases, N = 3f+1,
+no trusted components."""
+
+from .certificates import (
+    HS_COMMIT,
+    HS_DECIDE,
+    HS_GENESIS_QC,
+    HS_PRECOMMIT,
+    HS_PREPARE,
+    HsQC,
+    HsVote,
+)
+from .replica import HotStuffReplica
+
+__all__ = [
+    "HS_COMMIT",
+    "HS_DECIDE",
+    "HS_GENESIS_QC",
+    "HS_PRECOMMIT",
+    "HS_PREPARE",
+    "HsQC",
+    "HsVote",
+    "HotStuffReplica",
+]

@@ -1,0 +1,87 @@
+"""Basic HotStuff certificates (PODC'19 baseline).
+
+Votes are partial signatures over ``(phase, view, hash)``; a quorum
+certificate (QC) combines 2f+1 of them.  The paper's C++ baseline uses
+ECDSA signature lists (no threshold aggregation), so verifying a QC
+costs 2f+1 signature checks — we model the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...crypto import Digest, KeyRing, Signature, digest_of
+from ...smr import GENESIS
+
+#: HotStuff phases.
+HS_PREPARE = "prepare"
+HS_PRECOMMIT = "pre-commit"
+HS_COMMIT = "commit"
+HS_DECIDE = "decide"
+
+
+def hs_vote_digest(phase: str, view: int, h: Digest) -> Digest:
+    return digest_of("hs-vote", phase, view, h)
+
+
+@dataclass(frozen=True)
+class HsVote:
+    """A partial signature for one phase of one view."""
+
+    phase: str
+    view: int
+    block_hash: Digest
+    sig: Signature
+
+    def verify(self, ring: KeyRing) -> bool:
+        return ring.verify(
+            hs_vote_digest(self.phase, self.view, self.block_hash), self.sig
+        )
+
+    def wire_size(self) -> int:
+        return 48 + 64
+
+
+@dataclass(frozen=True)
+class HsQC:
+    """A quorum certificate: 2f+1 votes on ``(phase, view, hash)``."""
+
+    phase: str
+    view: int
+    block_hash: Digest
+    sigs: tuple[Signature, ...]
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.view == -1 and self.block_hash == GENESIS.hash
+
+    def signer_ids(self) -> tuple[int, ...]:
+        return tuple(s.signer for s in self.sigs)
+
+    def verify(self, ring: KeyRing, quorum: int) -> bool:
+        if self.is_genesis:
+            return True
+        if len(set(self.signer_ids())) < quorum:
+            return False
+        digest = hs_vote_digest(self.phase, self.view, self.block_hash)
+        return ring.verify_all(digest, list(self.sigs))
+
+    def wire_size(self) -> int:
+        return 48 + 64 * len(self.sigs)
+
+
+#: Bootstrap QC: genesis is prepared before view 0.
+HS_GENESIS_QC = HsQC(phase=HS_PREPARE, view=-1, block_hash=GENESIS.hash, sigs=())
+
+
+__all__ = [
+    "HS_PREPARE",
+    "HS_PRECOMMIT",
+    "HS_COMMIT",
+    "HS_DECIDE",
+    "HsVote",
+    "HsQC",
+    "HS_GENESIS_QC",
+    "hs_vote_digest",
+]

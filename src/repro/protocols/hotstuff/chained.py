@@ -1,0 +1,261 @@
+"""Chained (pipelined) HotStuff — PODC'19, Sec. 5 / Algorithm 5.
+
+One *generic* phase per view: the leader proposes a block carrying the
+highest known QC (its justify); replicas vote to the **next** leader,
+which assembles the QC and proposes on top.  Commit is by the 3-chain
+rule — when blocks b ← b' ← b'' are linked by direct parent edges and
+each has a QC, b is decided; the 2-chain prefix locks b (safety).
+
+This is the pipelined counterpart of
+:class:`~repro.protocols.hotstuff.replica.HotStuffReplica`, kept as a
+separate class so basic and chained versions can be benchmarked side
+by side (the paper's Sec. III describes both forms).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...crypto import Digest
+from ...metrics import NORMAL
+from ...smr import create_leaf
+from ..common import BaseReplica, QuorumTracker
+from .certificates import HS_GENESIS_QC, HS_PREPARE, HsQC, HsVote, hs_vote_digest
+from .messages import (
+    HsFetchReq,
+    HsFetchResp,
+    HsNewViewMsg,
+    HsProposalMsg,
+    HsVoteMsg,
+)
+
+#: Phase tag used for all chained (generic) votes.
+GENERIC = HS_PREPARE
+
+
+class ChainedHotStuffReplica(BaseReplica):
+    """Chained HotStuff: one block and two waves per view."""
+
+    MIN_N_FACTOR = 3
+    PROTOCOL = "hotstuff-chained"
+    CERTIFIED_REPLIES = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.generic_qc: HsQC = HS_GENESIS_QC  # highest QC known
+        self.locked_qc: HsQC = HS_GENESIS_QC
+        #: block hash -> the QC certifying it (set when first seen).
+        self._qc_of: dict[Digest, HsQC] = {}
+        self._nv_tracker = QuorumTracker(self.config.n - self.config.f)
+        self._vote_tracker = QuorumTracker(self.hs_quorum)
+        self._led_view = -1
+        self._voted_view = -1
+        self._fetching: set[Digest] = set()
+        for mtype, handler in (
+            (HsNewViewMsg, self.on_new_view),
+            (HsProposalMsg, self.on_proposal),
+            (HsVoteMsg, self.on_vote),
+            (HsFetchReq, self.on_fetch_req),
+            (HsFetchResp, self.on_fetch_resp),
+        ):
+            self.register_handler(mtype, handler)
+
+    @property
+    def hs_quorum(self) -> int:
+        return 2 * self.config.f + 1
+
+    # ------------------------------------------------------------------
+    # View entry / timeout
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        # Bootstrap: elect view 0's leader with new-view messages.
+        self._send_new_view(0)
+
+    def on_enter_view(self, view: int) -> None:
+        if view % 64 == 0:
+            self._nv_tracker.clear_below(view - 4)
+            self._vote_tracker.clear_below(view - 4)
+
+    def on_timeout(self) -> None:
+        # In steady state the pipeline needs no new-view traffic; after
+        # a timeout the next leader must be told where everyone stands.
+        self.enter_view(self.view + 1)
+        self._send_new_view(self.view)
+
+    def _send_new_view(self, view: int) -> None:
+        done = max(self.sim.now, self.cpu.busy_until)
+        self.send_at(done, self.leader_of(view), HsNewViewMsg(view, self.generic_qc))
+
+    # ------------------------------------------------------------------
+    # Leader: propose on the highest QC
+    # ------------------------------------------------------------------
+    def on_new_view(self, sender: int, msg: HsNewViewMsg) -> None:
+        if msg.view < self.view or self.leader_of(msg.view) != self.pid:
+            return
+        quorum = self._nv_tracker.add(msg.view, sender, msg)
+        if quorum is None:
+            return
+        if msg.view > self.view:
+            self.enter_view(msg.view)
+        if msg.view != self.view or self._led_view >= self.view:
+            return
+        high = max((m.justify for m in quorum), key=lambda qc: qc.view)
+        if high.view < self.generic_qc.view:
+            high = self.generic_qc
+        if not high.is_genesis and high.view != self.generic_qc.view:
+            self.charge(self.config.crypto_costs.verify(len(high.sigs)))
+            if not high.verify(self.ring, self.hs_quorum):
+                return
+        self._propose(high)
+
+    def _propose(self, justify: HsQC) -> None:
+        block = create_leaf(
+            justify.block_hash,
+            self.view,
+            self.mempool.next_batch(self.sim.now),
+            self.pid,
+        )
+        self.charge(self.config.crypto_costs.hash(block.wire_size()))
+        self._led_view = self.view
+        self.add_block(block)
+        self.collector.on_propose(self.pid, self.view, block.hash, self.sim.now)
+        done = max(self.sim.now, self.cpu.busy_until)
+        self.broadcast_at(done, HsProposalMsg(block, self.view, justify))
+
+    # ------------------------------------------------------------------
+    # Replicas: generic vote to the NEXT leader + 3-chain commit walk
+    # ------------------------------------------------------------------
+    def _safe_node(self, block, justify: HsQC) -> bool:
+        if justify.view > self.locked_qc.view:
+            return True
+        if block.parent == self.locked_qc.block_hash:
+            return True
+        return self.store.extends_plus(block.parent, self.locked_qc.block_hash)
+
+    def on_proposal(self, sender: int, msg: HsProposalMsg) -> None:
+        v = msg.view
+        if v < self.view or sender != self.leader_of(v):
+            return
+        if sender != self.pid:
+            self.charge(
+                self.config.crypto_costs.verify(len(msg.justify.sigs))
+                + self.config.crypto_costs.hash(msg.block.wire_size())
+            )
+            if not msg.justify.verify(self.ring, self.hs_quorum):
+                return
+        if not msg.block.extends(msg.justify.block_hash):
+            return
+        if not self._safe_node(msg.block, msg.justify):
+            return
+        if v > self.view:
+            self.enter_view(v)
+        if v != self.view or self._voted_view >= v:
+            return
+        self.add_block(msg.block)
+        # A valid proposal is pipeline progress: reset the backoff even
+        # when the 3-chain commit still lags (e.g. around failed views).
+        self.pacemaker.on_progress()
+        self._register_qc(msg.justify)
+        self._chain_update(msg.justify)
+        # Vote to the next view's leader (pipelining).
+        self._voted_view = v
+        self.charge(self.config.crypto_costs.sign())
+        vote = HsVote(
+            phase=GENERIC,
+            view=v,
+            block_hash=msg.block.hash,
+            sig=self.creds.keypair.sign(
+                hs_vote_digest(GENERIC, v, msg.block.hash)
+            ),
+        )
+        done = max(self.sim.now, self.cpu.busy_until)
+        self.send_at(done, self.leader_of(v + 1), HsVoteMsg(vote))
+
+    def _register_qc(self, qc: HsQC) -> None:
+        if qc.is_genesis:
+            return
+        if qc.view > self.generic_qc.view:
+            self.generic_qc = qc
+        self._qc_of.setdefault(qc.block_hash, qc)
+
+    def _chain_update(self, qc: HsQC) -> None:
+        """Algorithm 5's lock & decide rules over the justify chain.
+
+        ``qc`` certifies b2; if b2's parent b1 also has a QC, lock b1
+        (2-chain); if additionally b1's parent b0 has a QC, decide b0
+        (3-chain with direct parent links).
+        """
+        b2 = self.store.get(qc.block_hash)
+        if b2 is None:
+            return
+        qc1 = self._qc_of.get(b2.parent)
+        if qc1 is None:
+            return
+        if qc1.view > self.locked_qc.view:
+            self.locked_qc = qc1  # PRE-COMMIT (lock) on the 2-chain
+        b1 = self.store.get(qc1.block_hash)
+        if b1 is None:
+            return
+        qc0 = self._qc_of.get(b1.parent)
+        if qc0 is None or qc0.is_genesis:
+            return
+        # DECIDE: 3-chain b0 <- b1 <- b2 with direct parent links.
+        if not self.log.is_executed(qc0.block_hash):
+            self.commit_chain(qc0.block_hash, NORMAL, context=qc0)
+            self.record_decision_progress()
+
+    # ------------------------------------------------------------------
+    # Next leader: assemble the QC and keep the pipeline moving
+    # ------------------------------------------------------------------
+    def on_vote(self, sender: int, msg: HsVoteMsg) -> None:
+        vote = msg.vote
+        v = vote.view  # votes of view v elect the leader of v+1
+        if self.leader_of(v + 1) != self.pid or v + 1 < self.view:
+            return
+        if sender != self.pid:
+            self.charge(self.config.crypto_costs.verify(1))
+            if not vote.verify(self.ring):
+                return
+        quorum = self._vote_tracker.add(
+            (v, vote.block_hash), vote.sig.signer, vote
+        )
+        if quorum is None:
+            return
+        qc = HsQC(
+            phase=GENERIC,
+            view=v,
+            block_hash=vote.block_hash,
+            sigs=tuple(x.sig for x in quorum),
+        )
+        self._register_qc(qc)
+        self._chain_update(qc)
+        if v + 1 > self.view:
+            self.enter_view(v + 1)
+        if self.view != v + 1 or self._led_view >= self.view:
+            return
+        self._propose(qc)
+
+    # ------------------------------------------------------------------
+    # Block fetch
+    # ------------------------------------------------------------------
+    def on_missing_block(self, h: Digest, context=None) -> None:
+        if h in self._fetching or context is None:
+            return
+        self._fetching.add(h)
+        targets = [i for i in context.signer_ids() if i != self.pid]
+        if targets:
+            self.network.send(self.pid, targets[0], HsFetchReq(h))
+
+    def on_fetch_req(self, sender: int, msg: HsFetchReq) -> None:
+        block = self.store.get(msg.block_hash)
+        if block is not None:
+            done = self.charge(self.config.handler_overhead)
+            self.send_at(done, sender, HsFetchResp(block))
+
+    def on_fetch_resp(self, sender: int, msg: HsFetchResp) -> None:
+        self.charge(self.config.crypto_costs.hash(msg.block.wire_size()))
+        self._fetching.discard(msg.block.hash)
+        self.add_block(msg.block)
+
+
+__all__ = ["ChainedHotStuffReplica"]

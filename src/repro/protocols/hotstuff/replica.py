@@ -1,0 +1,256 @@
+"""Basic HotStuff replica (PODC'19) — the 8-step, 3-core-phase baseline.
+
+N ≥ 3f+1, quorums of 2f+1.  Per view: new-view (½), prepare,
+pre-commit, commit phases and the decide (½) step, with the lock-commit
+safety rule: a replica votes for a proposal only if it extends its
+locked block or carries a newer prepareQC (``safeNode``).
+
+No trusted components: votes are replica-key signatures; QCs are
+ECDSA signature lists (as in the paper's C++ baseline), so verifying a
+QC costs 2f+1 signature checks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ...crypto import Digest
+from ...metrics import NORMAL
+from ...smr import create_leaf
+from ..common import BaseReplica, QuorumTracker
+from .certificates import (
+    HS_COMMIT,
+    HS_DECIDE,
+    HS_GENESIS_QC,
+    HS_PRECOMMIT,
+    HS_PREPARE,
+    HsQC,
+    HsVote,
+    hs_vote_digest,
+)
+from .messages import (
+    HsFetchReq,
+    HsFetchResp,
+    HsNewViewMsg,
+    HsProposalMsg,
+    HsQcMsg,
+    HsVoteMsg,
+)
+
+
+class HotStuffReplica(BaseReplica):
+    """A Basic HotStuff replica."""
+
+    MIN_N_FACTOR = 3
+    PROTOCOL = "hotstuff"
+    CERTIFIED_REPLIES = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.prepare_qc: HsQC = HS_GENESIS_QC
+        self.locked_qc: HsQC = HS_GENESIS_QC
+        self._nv_tracker = QuorumTracker(self.config.n - self.config.f)
+        self._vote_tracker = QuorumTracker(self.hs_quorum)
+        self._led_view = -1
+        self._current_hash: dict[int, Digest] = {}
+        self._fetching: set[Digest] = set()
+        for mtype, handler in (
+            (HsNewViewMsg, self.on_new_view),
+            (HsProposalMsg, self.on_proposal),
+            (HsVoteMsg, self.on_vote),
+            (HsQcMsg, self.on_qc),
+            (HsFetchReq, self.on_fetch_req),
+            (HsFetchResp, self.on_fetch_resp),
+        ):
+            self.register_handler(mtype, handler)
+
+    @property
+    def hs_quorum(self) -> int:
+        """HotStuff quorums are 2f+1 (vs f+1 for the hybrid protocols)."""
+        return 2 * self.config.f + 1
+
+    # ------------------------------------------------------------------
+    # View entry / timeout (new-view interrupt)
+    # ------------------------------------------------------------------
+    def on_enter_view(self, view: int) -> None:
+        if view % 64 == 0:
+            self._nv_tracker.clear_below(view - 4)
+            self._vote_tracker.clear_below(view - 4)
+        done = max(self.sim.now, self.cpu.busy_until)
+        self.send_at(
+            done, self.leader_of(view), HsNewViewMsg(view, self.prepare_qc)
+        )
+
+    def on_timeout(self) -> None:
+        self.enter_view(self.view + 1)
+
+    # ------------------------------------------------------------------
+    # Leader: prepare phase
+    # ------------------------------------------------------------------
+    def on_new_view(self, sender: int, msg: HsNewViewMsg) -> None:
+        if msg.view < self.view or self.leader_of(msg.view) != self.pid:
+            return
+        quorum = self._nv_tracker.add(msg.view, sender, msg)
+        if quorum is None:
+            return
+        if msg.view > self.view:
+            self.enter_view(msg.view)
+        if msg.view != self.view or self._led_view >= self.view:
+            return
+        high_qc = max(
+            (m.justify for m in quorum), key=lambda qc: qc.view
+        )
+        if high_qc.view < self.prepare_qc.view:
+            high_qc = self.prepare_qc
+        # Verify the selected highQC (implementations verify lazily:
+        # only the QC actually adopted, not every carried copy).
+        if not high_qc.is_genesis:
+            self.charge(self.config.crypto_costs.verify(len(high_qc.sigs)))
+            if not high_qc.verify(self.ring, self.hs_quorum):
+                return
+        block = create_leaf(
+            high_qc.block_hash,
+            self.view,
+            self.mempool.next_batch(self.sim.now),
+            self.pid,
+        )
+        self.charge(self.config.crypto_costs.hash(block.wire_size()))
+        self._led_view = self.view
+        self.add_block(block)
+        self.collector.on_propose(self.pid, self.view, block.hash, self.sim.now)
+        done = max(self.sim.now, self.cpu.busy_until)
+        self.broadcast_at(done, HsProposalMsg(block, self.view, high_qc))
+
+    # ------------------------------------------------------------------
+    # Replicas: prepare vote (safeNode rule)
+    # ------------------------------------------------------------------
+    def _safe_node(self, block, justify: HsQC) -> bool:
+        """HotStuff's safety + liveness voting rule."""
+        if justify.view > self.locked_qc.view:
+            return True  # liveness rule
+        if block.parent == self.locked_qc.block_hash:
+            return True
+        return self.store.extends_plus(block.parent, self.locked_qc.block_hash)
+
+    def on_proposal(self, sender: int, msg: HsProposalMsg) -> None:
+        v = msg.view
+        if v < self.view or sender != self.leader_of(v):
+            return
+        if sender != self.pid:
+            self.charge(
+                self.config.crypto_costs.verify(len(msg.justify.sigs))
+                + self.config.crypto_costs.hash(msg.block.wire_size())
+            )
+            if not msg.justify.verify(self.ring, self.hs_quorum):
+                return
+        if not msg.block.extends(msg.justify.block_hash):
+            return
+        if not self._safe_node(msg.block, msg.justify):
+            return
+        if v > self.view:
+            self.enter_view(v)
+        if v != self.view:
+            return
+        self.add_block(msg.block)
+        self._current_hash[v] = msg.block.hash
+        if msg.justify.view > self.prepare_qc.view:
+            self.prepare_qc = msg.justify
+        self._send_vote(HS_PREPARE, v, msg.block.hash, sender)
+
+    def _send_vote(self, phase: str, view: int, h: Digest, leader: int) -> None:
+        self.charge(self.config.crypto_costs.sign())
+        vote = HsVote(
+            phase=phase,
+            view=view,
+            block_hash=h,
+            sig=self.creds.keypair.sign(hs_vote_digest(phase, view, h)),
+        )
+        done = max(self.sim.now, self.cpu.busy_until)
+        self.send_at(done, leader, HsVoteMsg(vote))
+
+    # ------------------------------------------------------------------
+    # Leader: combine votes into QCs (steps 4/6/8)
+    # ------------------------------------------------------------------
+    def on_vote(self, sender: int, msg: HsVoteMsg) -> None:
+        vote = msg.vote
+        v = self.view
+        if vote.view != v or self._led_view != v:
+            return
+        if self._current_hash.get(v) != vote.block_hash:
+            return
+        if sender != self.pid:
+            self.charge(self.config.crypto_costs.verify(1))
+            if not vote.verify(self.ring):
+                return
+        quorum = self._vote_tracker.add(
+            (v, vote.phase, vote.block_hash), vote.sig.signer, vote
+        )
+        if quorum is None:
+            return
+        qc = HsQC(
+            phase=vote.phase,
+            view=v,
+            block_hash=vote.block_hash,
+            sigs=tuple(x.sig for x in quorum),
+        )
+        done = max(self.sim.now, self.cpu.busy_until)
+        self.broadcast_at(done, HsQcMsg(qc))
+
+    # ------------------------------------------------------------------
+    # Replicas: phase transitions on QCs (steps 5/7 and decide)
+    # ------------------------------------------------------------------
+    def on_qc(self, sender: int, msg: HsQcMsg) -> None:
+        qc = msg.qc
+        v = qc.view
+        if v < self.view or sender != self.leader_of(v):
+            return
+        if sender != self.pid:
+            self.charge(self.config.crypto_costs.verify(len(qc.sigs)))
+            if not qc.verify(self.ring, self.hs_quorum):
+                return
+        if qc.phase == HS_PREPARE:
+            if v != self.view:
+                return
+            if qc.view > self.prepare_qc.view:
+                self.prepare_qc = qc
+            self._send_vote(HS_PRECOMMIT, v, qc.block_hash, sender)
+        elif qc.phase == HS_PRECOMMIT:
+            if v != self.view:
+                return
+            if qc.view > self.locked_qc.view:
+                self.locked_qc = qc  # lock
+            self._send_vote(HS_COMMIT, v, qc.block_hash, sender)
+        elif qc.phase == HS_COMMIT:
+            # Decide: execute and move on.
+            if v > self.view:
+                self.enter_view(v)
+            if v != self.view:
+                return
+            self.commit_chain(qc.block_hash, NORMAL, context=qc)
+            self.record_decision_progress()
+            self.enter_view(v + 1)
+
+    # ------------------------------------------------------------------
+    # Block fetch (recovery)
+    # ------------------------------------------------------------------
+    def on_missing_block(self, h: Digest, context: Any = None) -> None:
+        if h in self._fetching or context is None:
+            return
+        self._fetching.add(h)
+        targets = [i for i in context.signer_ids() if i != self.pid]
+        if targets:
+            self.network.send(self.pid, targets[0], HsFetchReq(h))
+
+    def on_fetch_req(self, sender: int, msg: HsFetchReq) -> None:
+        block = self.store.get(msg.block_hash)
+        if block is not None:
+            done = self.charge(self.config.handler_overhead)
+            self.send_at(done, sender, HsFetchResp(block))
+
+    def on_fetch_resp(self, sender: int, msg: HsFetchResp) -> None:
+        self.charge(self.config.crypto_costs.hash(msg.block.wire_size()))
+        self._fetching.discard(msg.block.hash)
+        self.add_block(msg.block)
+
+
+__all__ = ["HotStuffReplica"]

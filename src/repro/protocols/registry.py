@@ -1,0 +1,54 @@
+"""Protocol registry: name → replica class + resilience metadata.
+
+The experiment harness looks protocols up by name; registering here is
+all that is needed for a protocol to participate in every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Type
+
+from ..core import OneShotReplica
+from ..core.chained import ChainedOneShotReplica
+from .common import BaseReplica
+from .damysus import DamysusReplica
+from .damysus.chained import ChainedDamysusReplica
+from .hotstuff import HotStuffReplica
+from .hotstuff.chained import ChainedHotStuffReplica
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """Registry entry for one protocol."""
+
+    name: str
+    replica_cls: Type[BaseReplica]
+    #: n = factor * f + 1 (minimum cluster size for f faults).
+    n_factor: int
+
+    def n_for(self, f: int) -> int:
+        """Smallest cluster tolerating ``f`` faults."""
+        return self.n_factor * f + 1
+
+
+REGISTRY: dict[str, ProtocolInfo] = {
+    "oneshot": ProtocolInfo("oneshot", OneShotReplica, 2),
+    "oneshot-chained": ProtocolInfo("oneshot-chained", ChainedOneShotReplica, 2),
+    "damysus": ProtocolInfo("damysus", DamysusReplica, 2),
+    "damysus-chained": ProtocolInfo("damysus-chained", ChainedDamysusReplica, 2),
+    "hotstuff": ProtocolInfo("hotstuff", HotStuffReplica, 3),
+    "hotstuff-chained": ProtocolInfo("hotstuff-chained", ChainedHotStuffReplica, 3),
+}
+
+
+def get_protocol(name: str) -> ProtocolInfo:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; known: {sorted(REGISTRY)}"
+        ) from None
+
+
+__all__ = ["ProtocolInfo", "REGISTRY", "get_protocol"]

@@ -1,0 +1,140 @@
+"""The discrete-event simulation core.
+
+A :class:`Simulator` owns the clock and the event queue.  Model code
+schedules callbacks with :meth:`Simulator.schedule` /
+:meth:`Simulator.schedule_at` and the loop drives them in deterministic
+timestamp order.  There is no wall-clock coupling: a "second" of
+simulated time costs only as many events as the model generates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .event import Event, EventQueue
+from .rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for simulator misuse (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the :class:`RngRegistry`; every stochastic model
+        component derives its stream from it.
+    trace:
+        Optional callable ``(time, label) -> None`` invoked for every
+        event executed, useful for debugging and trace tests.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[Callable[[float, str], None]] = None,
+    ) -> None:
+        self._now = 0.0
+        self._queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.trace = trace
+        self.events_executed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock & scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self._queue.push(
+            self._now + delay, callback, args, priority=priority, label=label
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r} < now ({self._now!r})"
+            )
+        return self._queue.push(
+            time, callback, args, priority=priority, label=label
+        )
+
+    # ------------------------------------------------------------------
+    # Run loops
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next event.  Returns ``False`` when drained."""
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        self._now = ev.time
+        self.events_executed += 1
+        if self.trace is not None:
+            self.trace(self._now, ev.label)
+        ev.callback(*ev.args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Drive the loop.
+
+        Stops when the queue drains, the clock would pass ``until``,
+        ``max_events`` have executed, or ``stop_when()`` returns true
+        (checked after each event).
+        """
+        if self._running:
+            raise SimulationError("simulator loop is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    return
+                nxt = self._queue.peek_time()
+                if nxt is None:
+                    return
+                if until is not None and nxt > until:
+                    self._now = until
+                    return
+                self.step()
+                executed += 1
+                if stop_when is not None and stop_when():
+                    return
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled)."""
+        return len(self._queue)
+
+
+__all__ = ["Simulator", "SimulationError"]

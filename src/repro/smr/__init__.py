@@ -1,0 +1,32 @@
+"""State-machine-replication substrate: transactions, blocks, chains,
+mempools, clients, and deterministic execution."""
+
+from .block import GENESIS, GENESIS_HASH, Block, create_leaf, make_genesis
+from .chain import BlockStore, ChainError
+from .client import Client, PoissonClient, Reply, SubmitTx
+from .execution import ExecutionLog, KVStore, prefix_agreement
+from .mempool import BLOCK_TXS, Mempool, SaturatedSource
+from .transaction import TX_OVERHEAD_BYTES, Transaction, TxFactory
+
+__all__ = [
+    "GENESIS",
+    "GENESIS_HASH",
+    "Block",
+    "create_leaf",
+    "make_genesis",
+    "BlockStore",
+    "ChainError",
+    "Client",
+    "PoissonClient",
+    "Reply",
+    "SubmitTx",
+    "ExecutionLog",
+    "KVStore",
+    "prefix_agreement",
+    "BLOCK_TXS",
+    "Mempool",
+    "SaturatedSource",
+    "TX_OVERHEAD_BYTES",
+    "Transaction",
+    "TxFactory",
+]

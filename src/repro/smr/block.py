@@ -1,0 +1,74 @@
+"""Blocks and the extension relation.
+
+A block ``b`` contains client transactions and the hash of the block it
+builds on (Sec. IV).  ``b ≻ h`` ("b directly extends the block with
+hash h") is checked via the stored parent hash; ``≻⁺`` is its
+transitive closure (implemented in :mod:`repro.smr.chain`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Optional
+
+from ..crypto import Digest, digest_of
+from .transaction import Transaction
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block proposed at ``view`` extending ``parent``."""
+
+    parent: Digest
+    view: int
+    txs: tuple[Transaction, ...] = ()
+    proposer: int = -1
+
+    @cached_property
+    def hash(self) -> Digest:
+        return digest_of(
+            "block",
+            self.parent,
+            self.view,
+            self.proposer,
+            tuple(t.encoding() for t in self.txs),
+        )
+
+    def extends(self, h: Digest) -> bool:
+        """The paper's ``b ≻ h`` relation."""
+        return self.parent == h
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: transactions carry their own 40 B overhead
+        (which already amortizes the 32 B parent hash, per Sec. VIII)."""
+        return 8 + sum(t.wire_size() for t in self.txs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Block v={self.view} p={self.proposer} "
+            f"{len(self.txs)}tx {self.hash.hex()[:8]}>"
+        )
+
+
+def make_genesis() -> Block:
+    """The unique genesis block (view -1, no parent)."""
+    return Block(parent=digest_of("pre-genesis"), view=-1, txs=(), proposer=-1)
+
+
+#: Shared immutable genesis instance and its hash.
+GENESIS = make_genesis()
+GENESIS_HASH: Digest = GENESIS.hash
+
+
+def create_leaf(
+    parent_hash: Digest,
+    view: int,
+    txs: tuple[Transaction, ...],
+    proposer: int,
+) -> Block:
+    """The paper's ``createLeaf``: a new block extending ``parent_hash``."""
+    return Block(parent=parent_hash, view=view, txs=txs, proposer=proposer)
+
+
+__all__ = ["Block", "GENESIS", "GENESIS_HASH", "create_leaf", "make_genesis"]

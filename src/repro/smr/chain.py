@@ -1,0 +1,126 @@
+"""Block storage, ancestry and conflict checking.
+
+Implements the paper's ``≻⁺`` (transitive extension) and *conflict*
+relations (Sec. IV): two different blocks conflict when neither extends
+the other.  The store also supports the "execute all unexecuted
+ancestors" walk used when a prepare certificate arrives (Sec. VI-E).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..crypto import Digest
+from .block import GENESIS, Block
+
+
+class ChainError(Exception):
+    """Raised for inconsistent chain operations."""
+
+
+class BlockStore:
+    """A replica-local set of blocks indexed by hash, rooted at genesis."""
+
+    def __init__(self) -> None:
+        self._blocks: dict[Digest, Block] = {GENESIS.hash: GENESIS}
+        self._height: dict[Digest, int] = {GENESIS.hash: 0}
+        self._children: dict[Digest, list[Digest]] = {}
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def add(self, block: Block) -> None:
+        """Insert a block (idempotent)."""
+        h = block.hash
+        if h in self._blocks:
+            return
+        self._blocks[h] = block
+        self._children.setdefault(block.parent, []).append(h)
+        if block.parent in self._height:
+            self._settle_heights(h)
+
+    def _settle_heights(self, root: Digest) -> None:
+        """Propagate heights to descendants inserted before their parent."""
+        frontier = [root]
+        while frontier:
+            h = frontier.pop()
+            blk = self._blocks[h]
+            self._height[h] = self._height[blk.parent] + 1
+            frontier.extend(
+                c for c in self._children.get(h, ()) if c not in self._height
+            )
+
+    def get(self, h: Digest) -> Optional[Block]:
+        return self._blocks.get(h)
+
+    def __contains__(self, h: Digest) -> bool:
+        return h in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def height(self, h: Digest) -> Optional[int]:
+        """Distance from genesis, or None if ancestry is incomplete."""
+        return self._height.get(h)
+
+    # ------------------------------------------------------------------
+    # Ancestry
+    # ------------------------------------------------------------------
+    def ancestors(self, h: Digest) -> Iterator[Block]:
+        """Walk parents of ``h`` (inclusive) back to genesis or a gap."""
+        cur = self._blocks.get(h)
+        while cur is not None:
+            yield cur
+            if cur.hash == GENESIS.hash:
+                return
+            cur = self._blocks.get(cur.parent)
+
+    def extends_plus(self, descendant: Digest, ancestor: Digest) -> bool:
+        """The paper's ``b₁ ≻⁺ b₂`` over hashes, walking stored parents."""
+        if descendant == ancestor:
+            return False
+        for blk in self.ancestors(descendant):
+            if blk.hash != descendant and blk.hash == ancestor:
+                return True
+            if blk.parent == ancestor:
+                return True
+        return False
+
+    def conflicts(self, h1: Digest, h2: Digest) -> bool:
+        """Conflict per Sec. IV: distinct and neither ≻⁺ the other.
+
+        Requires full stored ancestry of both blocks; raises otherwise.
+        """
+        if h1 == h2:
+            return False
+        for h in (h1, h2):
+            if h not in self._blocks:
+                raise ChainError(f"unknown block {h.hex()[:8]}")
+            last = list(self.ancestors(h))[-1]
+            if last.hash != GENESIS.hash:
+                raise ChainError(f"incomplete ancestry for {h.hex()[:8]}")
+        return not (self.extends_plus(h1, h2) or self.extends_plus(h2, h1))
+
+    def path_from(self, h: Digest, executed: set[Digest]) -> list[Block]:
+        """Unexecuted ancestors of ``h`` (inclusive), oldest first.
+
+        This is the execution walk: committing a block commits every
+        ancestor not yet executed.  Raises :class:`ChainError` when a
+        block along the path is missing (the caller must *pull* it,
+        Sec. VI-E).
+        """
+        path: list[Block] = []
+        cur_hash = h
+        while cur_hash not in executed:
+            blk = self._blocks.get(cur_hash)
+            if blk is None:
+                raise ChainError(f"missing block {cur_hash.hex()[:8]} on path")
+            path.append(blk)
+            if blk.hash == GENESIS.hash:
+                break
+            cur_hash = blk.parent
+        path.reverse()
+        return path
+
+
+__all__ = ["BlockStore", "ChainError"]

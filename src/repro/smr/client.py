@@ -1,0 +1,178 @@
+"""Clients: submission, reply collection, end-to-end latency.
+
+A client broadcasts each transaction to every replica (so a faulty
+leader cannot censor it silently) and waits for replies sent when the
+transaction's block executes.  Two trust modes:
+
+* ``certified`` — a *single* reply suffices because it forwards the
+  prepare certificate (OneShot, Sec. VI-C: "a single message is
+  therefore enough for a client to trust a reply");
+* quorum — ``f+1`` matching replies from distinct replicas (HotStuff /
+  Damysus style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..net import Network
+from ..sim import Process, Simulator
+from .transaction import Transaction, TxFactory
+
+
+@dataclass(frozen=True)
+class SubmitTx:
+    """Client → replica submission."""
+
+    tx: Transaction
+
+    def wire_size(self) -> int:
+        return 8 + self.tx.wire_size()
+
+
+@dataclass(frozen=True)
+class Reply:
+    """Replica → client execution notification.
+
+    ``certified`` marks replies carrying a forwarded prepare
+    certificate (trustable in isolation).
+    """
+
+    tx_key: tuple[int, int]
+    view: int
+    replica: int
+    certified: bool = False
+    result: Any = None
+
+    def wire_size(self) -> int:
+        # tx key + view + flag (+ certificate bytes when certified)
+        return 24 + (80 if self.certified else 0)
+
+
+class Client(Process):
+    """A closed-loop or scripted client."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        pid: int,
+        replica_pids: list[int],
+        f: int,
+        payload_bytes: int = 0,
+        certified_replies: bool = False,
+    ) -> None:
+        super().__init__(sim, pid, name=f"client{pid}")
+        self.network = network
+        self.replica_pids = list(replica_pids)
+        self.f = f
+        self.certified_replies = certified_replies
+        self.factory = TxFactory(client_id=pid, payload_bytes=payload_bytes)
+        self._inflight: dict[tuple[int, int], float] = {}
+        self._reply_counts: dict[tuple[int, int], set[int]] = {}
+        self.committed: dict[tuple[int, int], float] = {}
+        self.results: dict[tuple[int, int], Any] = {}
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, op: Any = None) -> Transaction:
+        """Create and broadcast a transaction; returns it."""
+        tx = self.factory.make(now=self.sim.now, op=op)
+        self._inflight[tx.key()] = self.sim.now
+        msg = SubmitTx(tx)
+        for r in self.replica_pids:
+            self.network.send(self.pid, r, msg)
+        return tx
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def on_message(self, sender: int, payload: Any) -> None:
+        if not isinstance(payload, Reply):
+            return
+        key = payload.tx_key
+        if key in self.committed or key not in self._inflight:
+            return
+        if self.certified_replies and payload.certified:
+            self._commit(key, payload)
+            return
+        voters = self._reply_counts.setdefault(key, set())
+        voters.add(payload.replica)
+        if len(voters) >= self.f + 1:
+            self._commit(key, payload)
+
+    def _commit(self, key: tuple[int, int], payload: Reply) -> None:
+        self.committed[key] = self.sim.now
+        self.results[key] = payload.result
+        self._reply_counts.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def latency(self, tx: Transaction) -> Optional[float]:
+        """Submit → commit latency, or None if still pending."""
+        done = self.committed.get(tx.key())
+        if done is None:
+            return None
+        return done - self._inflight[tx.key()]
+
+    def pending(self) -> int:
+        return len(self._inflight) - len(self.committed)
+
+    def committed_latencies(self) -> list[float]:
+        """Latencies of all committed transactions (seconds)."""
+        return [
+            done - self._inflight[key] for key, done in self.committed.items()
+        ]
+
+
+class PoissonClient(Client):
+    """An open-loop client: submissions arrive as a Poisson process.
+
+    Unlike the closed-loop saturated sources that keep blocks full,
+    an open-loop client measures end-to-end latency at a *fixed offered
+    load* (``rate_tps`` transactions per second), independent of how
+    fast the system commits.
+    """
+
+    def __init__(
+        self,
+        *args,
+        rate_tps: float = 100.0,
+        op_factory=None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if rate_tps <= 0:
+            raise ValueError("rate must be positive")
+        self.rate_tps = rate_tps
+        self.op_factory = op_factory
+        self._rng = self.sim.rng.stream(f"client{self.pid}.arrivals")
+        self._running = False
+
+    def start(self) -> None:
+        """Begin submitting; call once after the cluster starts."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self.rate_tps))
+        self.after(gap, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        op = self.op_factory() if self.op_factory is not None else None
+        self.submit(op)
+        self._schedule_next()
+
+
+__all__ = ["Client", "PoissonClient", "SubmitTx", "Reply"]

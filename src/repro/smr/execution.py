@@ -1,0 +1,119 @@
+"""Deterministic execution: the committed log and an example app state.
+
+Each replica appends executed blocks to an :class:`ExecutionLog` (the
+total order agreed by consensus) and applies their transactions to a
+deterministic state machine.  Tests compare logs and state digests
+across replicas to check agreement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..crypto import Digest, digest_of
+from .block import GENESIS, Block
+from .transaction import Transaction
+
+
+class KVStore:
+    """A deterministic replicated key-value state machine.
+
+    Supported operations (``tx.op``):
+
+    * ``("set", key, value)``
+    * ``("del", key)``
+    * ``("add", key, delta)`` — integer accumulate, missing keys are 0
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self.ops_applied = 0
+
+    def apply(self, op: Any) -> None:
+        if op is None:
+            return
+        kind = op[0]
+        if kind == "set":
+            _, key, value = op
+            self._data[key] = value
+        elif kind == "del":
+            _, key = op
+            self._data.pop(key, None)
+        elif kind == "add":
+            _, key, delta = op
+            self._data[key] = int(self._data.get(key, 0)) + int(delta)
+        else:
+            raise ValueError(f"unknown operation {kind!r}")
+        self.ops_applied += 1
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def state_digest(self) -> Digest:
+        """Order-independent digest of the full state (agreement checks)."""
+        items = tuple(sorted((k, repr(v)) for k, v in self._data.items()))
+        return digest_of("kv-state", items)
+
+
+class ExecutionLog:
+    """The per-replica committed block sequence plus app state."""
+
+    def __init__(self, state: Optional[KVStore] = None) -> None:
+        self.blocks: list[Block] = []
+        # Genesis is executed by definition (empty, carries no txs).
+        self.executed: set[Digest] = {GENESIS.hash}
+        self.state = state if state is not None else KVStore()
+        self.txs_executed = 0
+        self._exec_times: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def is_executed(self, h: Digest) -> bool:
+        return h in self.executed
+
+    def execute(self, block: Block, now: float) -> None:
+        """Append ``block`` and apply its transactions.
+
+        Blocks must arrive in chain order (the caller walks unexecuted
+        ancestors first); re-execution is rejected.
+        """
+        if block.hash in self.executed:
+            raise ValueError(f"block {block.hash.hex()[:8]} already executed")
+        if self.blocks and block.parent != self.blocks[-1].hash:
+            raise ValueError(
+                "out-of-order execution: block does not extend the log head"
+            )
+        self.blocks.append(block)
+        self.executed.add(block.hash)
+        self._exec_times.append(now)
+        for tx in block.txs:
+            self.state.apply(tx.op)
+        self.txs_executed += len(block.txs)
+
+    def head_hash(self) -> Optional[Digest]:
+        return self.blocks[-1].hash if self.blocks else None
+
+    def execution_time(self, index: int) -> float:
+        return self._exec_times[index]
+
+    def log_digest(self) -> Digest:
+        """Digest of the committed order (prefix-agreement checks)."""
+        return digest_of("log", tuple(b.hash for b in self.blocks))
+
+
+def prefix_agreement(logs: list[ExecutionLog]) -> bool:
+    """True iff every pair of logs agrees on their common prefix."""
+    for i in range(len(logs)):
+        for j in range(i + 1, len(logs)):
+            a, b = logs[i].blocks, logs[j].blocks
+            for x, y in zip(a, b):
+                if x.hash != y.hash:
+                    return False
+    return True
+
+
+__all__ = ["KVStore", "ExecutionLog", "prefix_agreement"]

@@ -1,0 +1,78 @@
+"""Pending-transaction pools and synthetic workload sources.
+
+The evaluation keeps the system saturated: every block carries exactly
+400 transactions.  :class:`SaturatedSource` models that steady state by
+synthesizing a full batch on demand (as the C++ harness's closed-loop
+clients do).  :class:`Mempool` additionally holds real client
+submissions (used by the replicated-KV example) ahead of the synthetic
+filler.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from .transaction import Transaction, TxFactory
+
+#: Transactions per block in the paper's evaluation.
+BLOCK_TXS = 400
+
+
+class SaturatedSource:
+    """Infinite supply of synthetic transactions with fixed payloads."""
+
+    def __init__(self, payload_bytes: int = 0, client_id: int = 10_000) -> None:
+        self.payload_bytes = payload_bytes
+        self._factory = TxFactory(client_id, payload_bytes)
+
+    def batch(self, n: int, now: float = 0.0) -> tuple[Transaction, ...]:
+        return self._factory.batch(n, now)
+
+
+class Mempool:
+    """Per-replica pool of client transactions, FIFO with dedup.
+
+    ``next_batch`` drains queued client transactions first and tops the
+    batch up from the synthetic source (if any) so blocks stay full.
+    """
+
+    def __init__(
+        self,
+        source: Optional[SaturatedSource] = None,
+        batch_size: int = BLOCK_TXS,
+    ) -> None:
+        self.source = source
+        self.batch_size = batch_size
+        self._pending: OrderedDict[tuple[int, int], Transaction] = OrderedDict()
+        self._seen: set[tuple[int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, tx: Transaction) -> bool:
+        """Queue a client transaction; returns False on duplicates."""
+        k = tx.key()
+        if k in self._seen:
+            return False
+        self._seen.add(k)
+        self._pending[k] = tx
+        return True
+
+    def mark_committed(self, tx: Transaction) -> None:
+        """Drop a transaction that some block already committed."""
+        self._seen.add(tx.key())
+        self._pending.pop(tx.key(), None)
+
+    def next_batch(self, now: float = 0.0) -> tuple[Transaction, ...]:
+        """Form the next block's transaction list."""
+        out: list[Transaction] = []
+        while self._pending and len(out) < self.batch_size:
+            _, tx = self._pending.popitem(last=False)
+            out.append(tx)
+        if self.source is not None and len(out) < self.batch_size:
+            out.extend(self.source.batch(self.batch_size - len(out), now))
+        return tuple(out)
+
+
+__all__ = ["Mempool", "SaturatedSource", "BLOCK_TXS"]

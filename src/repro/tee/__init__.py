@@ -1,0 +1,34 @@
+"""Trusted-execution-environment substrate.
+
+Generic enclave machinery (sealed state, ecall costs, attestation,
+rollback fault model).  Protocol-specific trusted services live next to
+their protocols: OneShot's CHECKER/ACCUMULATOR in
+:mod:`repro.core.tee_services`, Damysus's in
+:mod:`repro.protocols.damysus.tee_services`.
+"""
+
+from .attestation import Credentials, provision
+from .enclave import Enclave, TeeCostModel
+from .rollback import RollbackProtectedEnclaveMixin, rollback, snapshot
+from .rote import (
+    RollbackDetected,
+    RoteCheckerMixin,
+    RoteGroup,
+    SealedRecord,
+    make_protected_checker,
+)
+
+__all__ = [
+    "Credentials",
+    "provision",
+    "Enclave",
+    "TeeCostModel",
+    "RollbackProtectedEnclaveMixin",
+    "rollback",
+    "snapshot",
+    "RollbackDetected",
+    "RoteCheckerMixin",
+    "RoteGroup",
+    "SealedRecord",
+    "make_protected_checker",
+]

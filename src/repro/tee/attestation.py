@@ -1,0 +1,42 @@
+"""Key provisioning — the simulated analogue of remote attestation.
+
+Before the system starts, every replica's trusted components are
+provisioned with (i) their own signing key and (ii) the public keys of
+every other trusted component (Sec. IV: "public keys are known by
+trusted components, replicas, and clients").  In SGX this is done via
+remote attestation; here a deterministic :func:`provision` plays that
+role.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import KeyPair, KeyRing
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Everything a replica's trusted side is provisioned with."""
+
+    owner: int
+    keypair: KeyPair
+    ring: KeyRing  # public keys of every trusted component
+
+
+def provision(n: int, master_seed: int = 0, domain: str = "tee") -> list[Credentials]:
+    """Provision ``n`` replicas' trusted components.
+
+    The key ring is shared (public information); key pairs are private
+    per replica.
+    """
+    if n <= 0:
+        raise ValueError("need at least one replica")
+    pairs = [KeyPair.generate(i, master_seed, domain) for i in range(n)]
+    ring = KeyRing()
+    for kp in pairs:
+        ring.add(kp.public())
+    return [Credentials(owner=i, keypair=pairs[i], ring=ring) for i in range(n)]
+
+
+__all__ = ["Credentials", "provision"]

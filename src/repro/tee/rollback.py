@@ -1,0 +1,70 @@
+"""Rollback-attack model on enclave state.
+
+Sec. II discusses rollback attacks on hybrid protocols (ROTE,
+ENGRAFT, NARRATOR): an attacker restarts an enclave and restores an
+*old* snapshot of its sealed state, resurrecting spent counters.  The
+paper's threat model assumes TEEs do not lose state (known defenses
+exist); we still model the attack so tests can demonstrate both the
+vulnerability window and that the default model excludes it.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from .enclave import Enclave
+
+#: Enclave attributes that are part of the *sealed mutable state*.
+#: Keys are provisioned (not sealed), and the ROTE group is a remote
+#: service — a local rollback cannot rewind it — so both are excluded.
+_EXCLUDED = {"_key", "_ring", "_crypto", "_tee", "_rote_group"}
+
+
+def snapshot(enclave: Enclave) -> dict[str, Any]:
+    """Capture the enclave's sealed mutable state."""
+    return {
+        k: copy.deepcopy(v)
+        for k, v in vars(enclave).items()
+        if k not in _EXCLUDED
+    }
+
+
+def rollback(enclave: Enclave, snap: dict[str, Any]) -> None:
+    """Restore an old snapshot — the attack the paper's model excludes.
+
+    After this call the enclave will happily re-issue certificates for
+    counters it already spent; safety arguments that rely on counter
+    monotonicity no longer hold (demonstrated in tests).
+    """
+    for k, v in snap.items():
+        setattr(enclave, k, copy.deepcopy(v))
+
+
+class RollbackProtectedEnclaveMixin:
+    """Marker mixin: a deployment using ROTE/NARRATOR-style protection.
+
+    ``assert_no_rollback`` lets harness code express the default threat
+    model explicitly: it records high-water marks of monotonic fields
+    and raises if they ever regress.
+    """
+
+    _watermarks: dict[str, int]
+
+    def watch(self, *fields: str) -> None:
+        self._watermarks = {f: getattr(self, f) for f in fields}
+
+    def assert_no_rollback(self) -> None:
+        marks = getattr(self, "_watermarks", None)
+        if not marks:
+            return
+        for f, hi in marks.items():
+            cur = getattr(self, f)
+            if cur < hi:
+                raise RuntimeError(
+                    f"rollback detected: {f} regressed {hi} -> {cur}"
+                )
+            marks[f] = cur
+
+
+__all__ = ["snapshot", "rollback", "RollbackProtectedEnclaveMixin"]

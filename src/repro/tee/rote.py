@@ -1,0 +1,158 @@
+"""ROTE-style rollback protection for trusted components.
+
+Sec. II of the paper notes that hybrid protocols assume TEEs do not
+lose (or get rolled back on) their internal state, and cites ROTE
+[USENIX Sec'17] and NARRATOR as "known defenses against rollback
+attacks" that OneShot can adopt.  This module provides that defense in
+simulation form:
+
+* every state-mutating ecall bumps a *sealed version counter* and
+  replicates ``(owner, version, state digest)`` to a
+  :class:`RoteGroup` — the abstraction of ROTE's consistent-broadcast
+  echo among the cluster's enclaves (a quorum of which is honest);
+* on (re)start an enclave asks the group for its latest acknowledged
+  version; if its local sealed state is older, a rollback happened and
+  the enclave **halts** instead of re-issuing spent counters.
+
+:class:`RoteChecker` wraps OneShot's CHECKER with this discipline; the
+tests demonstrate that the attack of :mod:`repro.tee.rollback` is
+detected, at the cost of one group echo per mutating ecall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crypto import Digest, digest_of
+
+
+class RollbackDetected(RuntimeError):
+    """An enclave booted with sealed state older than the group's record."""
+
+
+@dataclass(frozen=True)
+class SealedRecord:
+    """One replicated sealed-state version."""
+
+    owner: int
+    version: int
+    state_digest: Digest
+
+
+class RoteGroup:
+    """The counter-replication service shared by a cluster's enclaves.
+
+    Models the *outcome* of ROTE's echo protocol: once ``replicate``
+    returns, a quorum of enclaves durably stores the record, so no
+    adversary can later convince the group of an older version.
+    """
+
+    #: Extra latency a real echo round would add per mutating ecall
+    #: (one intra-cluster round trip); charged by the wrapper.
+    ECHO_COST_S = 300e-6
+
+    def __init__(self) -> None:
+        self._latest: dict[int, SealedRecord] = {}
+        self.echoes = 0
+
+    def replicate(self, record: SealedRecord) -> None:
+        """Durably record ``record`` if it is the newest for its owner."""
+        self.echoes += 1
+        cur = self._latest.get(record.owner)
+        if cur is None or record.version > cur.version:
+            self._latest[record.owner] = record
+
+    def latest(self, owner: int) -> Optional[SealedRecord]:
+        return self._latest.get(owner)
+
+
+class RoteCheckerMixin:
+    """Mixin adding ROTE protection to a checker-style enclave.
+
+    Compose with a concrete checker class, e.g.::
+
+        class ProtectedChecker(RoteCheckerMixin, Checker): ...
+
+    The mixin assumes the base class exposes the mutable counters
+    ``view``, ``phase`` and ``prepv`` (OneShot's CHECKER does).
+    """
+
+    def attach_group(self, group: RoteGroup) -> None:
+        self._rote_group = group
+        self._rote_version = 0
+        self._halted = False
+        self._rote_seal()
+
+    # -- sealing -----------------------------------------------------
+    def _rote_state_digest(self) -> Digest:
+        return digest_of("rote", self.view, self.phase, self.prepv)
+
+    def _rote_seal(self) -> None:
+        self._rote_version += 1
+        self._charge(self._rote_group.ECHO_COST_S)
+        self._rote_group.replicate(
+            SealedRecord(self.owner, self._rote_version, self._rote_state_digest())
+        )
+
+    # -- boot-time freshness check ------------------------------------
+    def restart(self) -> None:
+        """(Re)boot: verify the sealed state is the newest the group knows.
+
+        A rollback attack restores an old snapshot *including* the old
+        version counter, so the comparison catches it; the enclave then
+        halts rather than re-issue certificates for spent views.
+        """
+        latest = self._rote_group.latest(self.owner)
+        if latest is not None and latest.version > self._rote_version:
+            self._halted = True
+            raise RollbackDetected(
+                f"enclave {self.owner}: sealed version {self._rote_version} "
+                f"< replicated version {latest.version}"
+            )
+        self._halted = False
+
+    @property
+    def halted(self) -> bool:
+        return getattr(self, "_halted", False)
+
+    # -- guarded entry points -----------------------------------------
+    def tee_prepare(self, h):
+        if self.halted:
+            return None
+        result = super().tee_prepare(h)
+        if result is not None:
+            self._rote_seal()
+        return result
+
+    def tee_store(self, prop):
+        if self.halted:
+            return None
+        result = super().tee_store(prop)
+        if result is not None:
+            self._rote_seal()
+        return result
+
+    def tee_vote(self, h):
+        if self.halted:
+            return None
+        return super().tee_vote(h)
+
+
+def make_protected_checker(checker_cls):
+    """Build a ROTE-protected variant of a checker class."""
+
+    class ProtectedChecker(RoteCheckerMixin, checker_cls):
+        pass
+
+    ProtectedChecker.__name__ = f"Rote{checker_cls.__name__}"
+    return ProtectedChecker
+
+
+__all__ = [
+    "RollbackDetected",
+    "SealedRecord",
+    "RoteGroup",
+    "RoteCheckerMixin",
+    "make_protected_checker",
+]

@@ -1,0 +1,69 @@
+"""Integration tests: the Sec. VI-F optimization ablation scenarios."""
+
+import pytest
+
+from repro.core import OneShotOptions
+from repro.experiments.ablation import (
+    ablate_avoid_revotes,
+    ablate_omit_known_blocks,
+    ablate_preempt_catchup,
+    oneshot_factory,
+    render_ablations,
+)
+
+
+@pytest.fixture(scope="module")
+def revotes():
+    return ablate_avoid_revotes(target_blocks=16)
+
+
+@pytest.fixture(scope="module")
+def omission():
+    return ablate_omit_known_blocks(target_blocks=16)
+
+
+@pytest.fixture(scope="module")
+def preempt():
+    return ablate_preempt_catchup(target_blocks=16)
+
+
+def test_avoid_revotes_eliminates_deliver_phases(revotes):
+    assert revotes.on_delivers == 0
+    assert revotes.off_delivers > 0
+
+
+def test_avoid_revotes_preserves_progress(revotes):
+    assert revotes.on.blocks_decided >= 16
+    assert revotes.off.blocks_decided >= 16
+
+
+def test_omission_saves_wire_bytes(omission):
+    assert omission.on_bytes < omission.off_bytes
+    assert omission.on.blocks_decided >= 16
+
+
+def test_preemption_improves_latency_and_throughput(preempt):
+    assert preempt.on.throughput_tps > preempt.off.throughput_tps
+    assert preempt.on.mean_latency_s < preempt.off.mean_latency_s
+
+
+def test_render_ablations(revotes, omission, preempt):
+    out = render_ablations([revotes, omission, preempt])
+    assert "avoid_revotes" in out and "bytes" in out
+
+
+def test_oneshot_factory_applies_options():
+    factory = oneshot_factory(OneShotOptions(avoid_revotes=False))
+    cls = factory(0, None)
+    assert cls.OPTIONS.avoid_revotes is False
+    assert cls.OPTIONS.omit_known_blocks is True
+
+
+def test_oneshot_factory_composes_with_forcers():
+    from repro.faults import forced_execution_factory
+
+    base = forced_execution_factory("piggyback", lambda v: v == 2)
+    factory = oneshot_factory(OneShotOptions(preempt_catchup=False), base)
+    cls = factory(0, None)
+    assert cls.OPTIONS.preempt_catchup is False
+    assert getattr(cls, "forced", None) == "piggyback"

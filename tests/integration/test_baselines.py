@@ -1,0 +1,163 @@
+"""Integration tests: Damysus and HotStuff baselines."""
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.metrics import compute_stats
+from repro.smr import prefix_agreement
+
+from ..conftest import make_cluster, run_blocks
+
+
+@pytest.mark.parametrize("protocol", ["damysus", "hotstuff"])
+def test_fault_free_progress(protocol):
+    sim, net, cluster = make_cluster(protocol, f=2, seed=5)
+    run_blocks(sim, cluster, 12)
+    assert len(cluster.replicas[0].log) >= 12
+    assert prefix_agreement(cluster.logs())
+    assert cluster.collector.timeouts() == 0
+
+
+@pytest.mark.parametrize("protocol", ["damysus", "hotstuff"])
+def test_chain_structure(protocol):
+    sim, net, cluster = make_cluster(protocol, f=1, seed=6)
+    run_blocks(sim, cluster, 8)
+    log = cluster.replicas[0].log.blocks
+    for parent, child in zip(log, log[1:]):
+        assert child.extends(parent.hash)
+    assert all(len(b.txs) == 400 for b in log)
+
+
+@pytest.mark.parametrize("protocol", ["damysus", "hotstuff"])
+def test_crashed_replica_tolerated(protocol):
+    plan = FaultPlan().add(1, "crashed")
+    sim, net, cluster = make_cluster(
+        protocol, f=1, seed=7, replica_factory=plan.factory()
+    )
+    run_blocks(sim, cluster, 8)
+    assert len(cluster.replicas[0].log) >= 8
+    assert prefix_agreement([r.log for r in cluster.correct_replicas()])
+
+
+@pytest.mark.parametrize("protocol", ["damysus", "hotstuff"])
+def test_silent_leader_recovered(protocol):
+    plan = FaultPlan().add(2, "silent-leader")
+    sim, net, cluster = make_cluster(
+        protocol, f=1, seed=8, replica_factory=plan.factory()
+    )
+    run_blocks(sim, cluster, 8)
+    assert cluster.collector.timeouts() > 0
+    assert prefix_agreement([r.log for r in cluster.correct_replicas()])
+
+
+def test_damysus_withholding_backups():
+    plan = FaultPlan().add(3, "withhold").add(4, "withhold")
+    sim, net, cluster = make_cluster(
+        "damysus", f=2, seed=9, replica_factory=plan.factory()
+    )
+    run_blocks(sim, cluster, 6)
+    assert len(cluster.replicas[0].log) >= 6
+
+
+def test_hotstuff_withholding_backup():
+    # HotStuff f=1, n=4, quorum 3: one withholder leaves exactly 3.
+    plan = FaultPlan().add(3, "withhold")
+    sim, net, cluster = make_cluster(
+        "hotstuff", f=1, seed=10, replica_factory=plan.factory()
+    )
+    run_blocks(sim, cluster, 6)
+    assert len(cluster.replicas[0].log) >= 6
+
+
+def test_damysus_six_step_views():
+    """A Damysus view has 6 communication waves (Sec. III)."""
+    sim, net, cluster = make_cluster("damysus", f=1, seed=11, enable_log=True)
+    run_blocks(sim, cluster, 6)
+    from repro.protocols.damysus.messages import (
+        DamCertMsg,
+        DamNewViewMsg,
+        DamProposalMsg,
+        DamVoteMsg,
+    )
+    from repro.protocols.damysus.certificates import COMMIT, PREPARE
+
+    view3 = set()
+    for env in net.message_log:
+        p = env.payload
+        if isinstance(p, DamNewViewMsg) and p.commitment.view == 3:
+            view3.add("nv")
+        elif isinstance(p, DamProposalMsg) and p.proposal.view == 3:
+            view3.add("proposal")
+        elif isinstance(p, DamVoteMsg) and p.vote.view == 3:
+            view3.add(f"vote-{p.vote.phase}")
+        elif isinstance(p, DamCertMsg) and p.cert.view == 3:
+            view3.add(f"cert-{p.cert.phase}")
+    assert view3 == {
+        "nv",
+        "proposal",
+        "vote-prepare",
+        "cert-prepare",
+        "vote-commit",
+        "cert-commit",
+    }
+
+
+def test_hotstuff_eight_step_views():
+    """A Basic HotStuff view has 8 communication waves (Fig. 1)."""
+    sim, net, cluster = make_cluster("hotstuff", f=1, seed=12, enable_log=True)
+    run_blocks(sim, cluster, 6)
+    from repro.protocols.hotstuff.messages import (
+        HsNewViewMsg,
+        HsProposalMsg,
+        HsQcMsg,
+        HsVoteMsg,
+    )
+
+    view3 = set()
+    for env in net.message_log:
+        p = env.payload
+        if isinstance(p, HsNewViewMsg) and p.view == 3:
+            view3.add("nv")
+        elif isinstance(p, HsProposalMsg) and p.view == 3:
+            view3.add("proposal")
+        elif isinstance(p, HsVoteMsg) and p.vote.view == 3:
+            view3.add(f"vote-{p.vote.phase}")
+        elif isinstance(p, HsQcMsg) and p.qc.view == 3:
+            view3.add(f"qc-{p.qc.phase}")
+    assert view3 == {
+        "nv",
+        "proposal",
+        "vote-prepare",
+        "qc-prepare",
+        "vote-pre-commit",
+        "qc-pre-commit",
+        "vote-commit",
+        "qc-commit",
+    }
+
+
+def test_hotstuff_locking_state_advances():
+    sim, net, cluster = make_cluster("hotstuff", f=1, seed=13)
+    run_blocks(sim, cluster, 8)
+    for r in cluster.replicas:
+        assert r.locked_qc.view >= 5
+        assert r.prepare_qc.view >= r.locked_qc.view
+
+
+def test_performance_ordering_matches_paper():
+    """OneShot > Damysus > HotStuff in throughput; reversed latency."""
+    stats = {}
+    for protocol in ("oneshot", "damysus", "hotstuff"):
+        sim, net, cluster = make_cluster(protocol, f=2, seed=14, latency_s=0.005)
+        run_blocks(sim, cluster, 12)
+        stats[protocol] = compute_stats(cluster.collector)
+    assert (
+        stats["oneshot"].throughput_tps
+        > stats["damysus"].throughput_tps
+        > stats["hotstuff"].throughput_tps
+    )
+    assert (
+        stats["oneshot"].mean_latency_s
+        < stats["damysus"].mean_latency_s
+        < stats["hotstuff"].mean_latency_s
+    )

@@ -1,0 +1,115 @@
+"""Integration tests: chained (pipelined) OneShot."""
+
+import pytest
+
+from repro.core.chained import ChainedOneShotReplica
+from repro.faults import FaultPlan
+from repro.metrics import compute_stats
+from repro.smr import prefix_agreement
+
+from ..conftest import make_cluster, run_blocks
+
+
+def test_fault_free_progress_and_agreement():
+    sim, net, cluster = make_cluster("oneshot-chained", f=2, seed=1)
+    run_blocks(sim, cluster, 20)
+    assert len(cluster.replicas[0].log) >= 20
+    assert prefix_agreement(cluster.logs())
+    assert cluster.collector.timeouts() == 0
+
+
+def test_one_block_per_view():
+    sim, net, cluster = make_cluster("oneshot-chained", f=1, seed=2)
+    run_blocks(sim, cluster, 12)
+    log = cluster.replicas[0].log.blocks
+    views = [b.view for b in log]
+    assert views == sorted(views)
+    # Pipelined: consecutive views each carry a block (no gaps).
+    assert views == list(range(views[0], views[0] + len(views)))
+
+
+def test_two_waves_per_view():
+    """Chained views use only proposal + store waves (no separate
+    decide broadcast)."""
+    sim, net, cluster = make_cluster("oneshot-chained", f=1, seed=3, enable_log=True)
+    run_blocks(sim, cluster, 8)
+    from repro.core.messages import DeliverMsg, PrepCertMsg, VoteMsg
+
+    types = {type(env.payload) for env in net.message_log}
+    assert PrepCertMsg not in types
+    assert DeliverMsg not in types and VoteMsg not in types
+
+
+def test_throughput_beats_basic_at_similar_latency():
+    results = {}
+    for protocol in ("oneshot", "oneshot-chained"):
+        sim, net, cluster = make_cluster(protocol, f=2, seed=4, latency_s=0.005)
+        run_blocks(sim, cluster, 25)
+        results[protocol] = compute_stats(cluster.collector)
+    basic, chained = results["oneshot"], results["oneshot-chained"]
+    assert chained.throughput_tps > 1.3 * basic.throughput_tps
+    assert chained.mean_latency_s < 1.5 * basic.mean_latency_s
+
+
+def test_crashed_replica_tolerated():
+    plan = FaultPlan().add(1, "crashed")
+    sim, net, cluster = make_cluster(
+        "oneshot-chained", f=1, seed=5, replica_factory=plan.factory()
+    )
+    run_blocks(sim, cluster, 10)
+    assert len(cluster.replicas[0].log) >= 10
+    assert prefix_agreement([r.log for r in cluster.correct_replicas()])
+
+
+def test_silent_leader_recovered_via_fallback():
+    plan = FaultPlan().add(2, "silent-leader")
+    sim, net, cluster = make_cluster(
+        "oneshot-chained", f=1, seed=6, replica_factory=plan.factory()
+    )
+    run_blocks(sim, cluster, 10)
+    assert cluster.collector.timeouts() > 0
+    assert prefix_agreement([r.log for r in cluster.correct_replicas()])
+
+
+def test_withholding_backups_tolerated():
+    plan = FaultPlan().add(3, "withhold").add(4, "withhold")
+    sim, net, cluster = make_cluster(
+        "oneshot-chained", f=2, seed=7, replica_factory=plan.factory()
+    )
+    run_blocks(sim, cluster, 8)
+    assert len(cluster.replicas[0].log) >= 8
+    assert prefix_agreement([r.log for r in cluster.correct_replicas()])
+
+
+def test_equivocation_still_blocked():
+    plan = FaultPlan().add(1, "equivocate")
+    sim, net, cluster = make_cluster(
+        "oneshot-chained", f=1, seed=8, replica_factory=plan.factory()
+    )
+    run_blocks(sim, cluster, 10)
+    byz = cluster.replicas[1]
+    assert byz.equivocation_attempts > 0
+    assert byz.equivocation_successes == 0
+    assert prefix_agreement([r.log for r in cluster.correct_replicas()])
+
+
+def test_tee_lockstep_in_chained_mode():
+    sim, net, cluster = make_cluster("oneshot-chained", f=2, seed=9)
+    run_blocks(sim, cluster, 15)
+    for r in cluster.replicas:
+        assert abs(r.checker.view - r.view) <= 1
+
+
+def test_vote_cert_block_commits_one_view_later():
+    """After a catch-up recovery, the vc-justified block commits when
+    the next prepare certificate arrives — never from the vc alone."""
+    from repro.faults import forced_execution_factory
+
+    factory = forced_execution_factory("catchup", lambda v: v == 2)
+    sim, net, cluster = make_cluster(
+        "oneshot-chained", f=2, seed=10, replica_factory=factory
+    )
+    run_blocks(sim, cluster, 12)
+    assert prefix_agreement(cluster.logs())
+    views = [b.view for b in cluster.replicas[0].log.blocks]
+    assert 2 in views and 3 in views  # both the forced block and its successor

@@ -1,0 +1,80 @@
+"""Integration tests: the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command(capsys):
+    assert main(["run", "--protocol", "oneshot", "--f", "1", "--blocks", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "oneshot f=1" in out
+    assert "throughput" in out
+
+
+def test_run_command_each_protocol(capsys):
+    for protocol in ("oneshot", "damysus", "hotstuff"):
+        assert main(["run", "--protocol", protocol, "--blocks", "4"]) == 0
+
+
+def test_fig7_command(capsys):
+    assert main(["fig7", "--deployment", "eu", "--f", "1", "--blocks", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Fig.7 [eu]" in out
+
+
+def test_gains_command(capsys):
+    assert main(["gains", "--deployment", "eu", "--f", "1", "2", "--blocks", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Throughput gains" in out and "Latency decreases" in out
+
+
+def test_steps_command(capsys):
+    assert main(["steps"]) == 0
+    out = capsys.readouterr().out
+    assert "piggyback" in out and "yes" in out
+
+
+def test_degraded_command(capsys):
+    assert main(["degraded", "--blocks", "12"]) == 0
+    out = capsys.readouterr().out
+    assert "degraded network" in out
+
+
+def test_invalid_protocol_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--protocol", "pbft"])
+
+
+def test_invalid_payload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--payload", "128"])
+
+
+def test_complexity_command(capsys):
+    assert main(["complexity", "--f", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "msgs/block/node" in out and "none" in out
+
+
+def test_parallel_command(capsys):
+    assert main(["parallel", "--k", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+
+
+def test_timeline_command(capsys):
+    assert main(["timeline", "--protocol", "oneshot", "--views", "2", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "proposal" in out and "view 2" in out
+
+
+def test_timeline_command_chained(capsys):
+    assert main(["timeline", "--protocol", "hotstuff-chained", "--views", "3", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "vote-prepare" in out

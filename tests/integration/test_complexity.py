@@ -1,0 +1,51 @@
+"""Integration tests: the message-complexity driver (E-M)."""
+
+import pytest
+
+from repro.experiments.complexity import (
+    check_linearity,
+    render_complexity,
+    run_complexity,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_complexity(f_values=(1, 2, 4), target_blocks=8)
+
+
+def test_all_protocols_linear(result):
+    assert check_linearity(result) == []
+
+
+def test_per_node_count_equals_step_count(result):
+    expected = {"oneshot": 4, "damysus": 6, "hotstuff": 8}
+    for protocol, steps in expected.items():
+        for point in result.series(protocol):
+            assert abs(point.msgs_per_block_per_node - steps) < 0.5
+
+
+def test_oneshot_cheapest_per_block(result):
+    for f in (1, 2, 4):
+        one = result.points[("oneshot", f)]
+        dam = result.points[("damysus", f)]
+        assert one.msgs_per_block < dam.msgs_per_block
+
+
+def test_bytes_grow_with_cluster(result):
+    series = result.series("oneshot")
+    assert series[0].bytes_per_block < series[-1].bytes_per_block
+
+
+def test_rendering(result):
+    out = render_complexity(result)
+    assert "msgs/block/node" in out and "oneshot" in out
+
+
+def test_linearity_check_catches_quadratic_growth():
+    from repro.experiments.complexity import ComplexityPoint, ComplexityResult
+
+    fake = ComplexityResult()
+    fake.points[("quad", 1)] = ComplexityPoint("quad", 1, 4, 16.0, 1.0)
+    fake.points[("quad", 4)] = ComplexityPoint("quad", 4, 13, 169.0, 1.0)
+    assert check_linearity(fake) != []

@@ -1,0 +1,134 @@
+"""Integration tests: OneShot under Byzantine faults and the three
+execution types (Figs. 2-4, Sec. VI-C)."""
+
+import pytest
+
+from repro.faults import FaultPlan, every_kth_view, forced_execution_factory
+from repro.metrics import CATCHUP, NORMAL, PIGGYBACK
+from repro.smr import prefix_agreement
+
+from ..conftest import make_cluster, run_blocks
+
+
+def correct_logs(cluster):
+    return [r.log for r in cluster.correct_replicas()]
+
+
+def run_with_plan(plan, f=1, blocks=12, seed=1, **kw):
+    sim, net, cluster = make_cluster(
+        "oneshot", f=f, seed=seed, replica_factory=plan.factory(), **kw
+    )
+    run_blocks(sim, cluster, blocks)
+    return sim, net, cluster
+
+
+# ----------------------------------------------------------------------
+# Crash / silence / withholding
+# ----------------------------------------------------------------------
+def test_crashed_replica_tolerated():
+    plan = FaultPlan().add(1, "crashed")
+    sim, net, cluster = run_with_plan(plan, f=1, blocks=10)
+    assert len(cluster.replicas[0].log) >= 10
+    assert prefix_agreement(correct_logs(cluster))
+
+
+def test_silent_leader_views_recovered_by_timeout():
+    plan = FaultPlan().add(2, "silent-leader")
+    sim, net, cluster = run_with_plan(plan, f=1, blocks=10)
+    assert cluster.collector.timeouts() > 0
+    assert prefix_agreement(correct_logs(cluster))
+
+
+def test_f_withholding_backups_cannot_block_quorum():
+    # f=2: two withholding backups out of n=5; quorum f+1=3 still met.
+    plan = FaultPlan().add(3, "withhold").add(4, "withhold")
+    sim, net, cluster = run_with_plan(plan, f=2, blocks=8)
+    assert len(cluster.replicas[0].log) >= 8
+    assert prefix_agreement(correct_logs(cluster))
+
+
+def test_garbage_sender_is_harmless():
+    plan = FaultPlan().add(1, "garbage")
+    sim, net, cluster = run_with_plan(plan, f=1, blocks=8)
+    assert len(cluster.replicas[0].log) >= 8
+    assert prefix_agreement(correct_logs(cluster))
+
+
+def test_slow_replica_does_not_violate_safety():
+    plan = FaultPlan().add(1, "slow", slow_delay=0.05)
+    sim, net, cluster = run_with_plan(plan, f=1, blocks=8)
+    assert prefix_agreement(correct_logs(cluster))
+
+
+def test_equivocation_blocked_by_checker():
+    plan = FaultPlan().add(1, "equivocate")
+    sim, net, cluster = run_with_plan(plan, f=1, blocks=10)
+    byz = cluster.replicas[1]
+    assert byz.equivocation_attempts > 0
+    assert byz.equivocation_successes == 0
+    assert prefix_agreement(correct_logs(cluster))
+
+
+def test_crash_mid_run_window():
+    plan = FaultPlan().add(2, "crashed", start=0.3)
+    sim, net, cluster = run_with_plan(plan, f=1, blocks=12)
+    assert len(cluster.replicas[0].log) >= 12
+    assert prefix_agreement(correct_logs(cluster))
+
+
+def test_two_faults_with_f2():
+    plan = FaultPlan().add(1, "crashed").add(3, "silent-leader")
+    sim, net, cluster = run_with_plan(plan, f=2, blocks=8)
+    assert len(cluster.replicas[0].log) >= 8
+    assert prefix_agreement(correct_logs(cluster))
+
+
+# ----------------------------------------------------------------------
+# Execution types
+# ----------------------------------------------------------------------
+def test_forced_piggyback_execution():
+    factory = forced_execution_factory("piggyback", lambda v: v == 2)
+    sim, net, cluster = make_cluster("oneshot", f=2, seed=3, replica_factory=factory)
+    run_blocks(sim, cluster, 10)
+    kinds = cluster.collector.execution_kinds()
+    assert kinds[2] == PIGGYBACK and kinds[3] == PIGGYBACK
+    assert kinds[4] == NORMAL
+    assert prefix_agreement(cluster.logs())
+
+
+def test_forced_catchup_execution():
+    factory = forced_execution_factory("catchup", lambda v: v == 2)
+    sim, net, cluster = make_cluster("oneshot", f=2, seed=3, replica_factory=factory)
+    run_blocks(sim, cluster, 10)
+    kinds = cluster.collector.execution_kinds()
+    assert kinds[2] == CATCHUP and kinds[3] == CATCHUP
+    assert prefix_agreement(cluster.logs())
+
+
+def test_catchup_decides_both_blocks():
+    factory = forced_execution_factory("catchup", lambda v: v == 2)
+    sim, net, cluster = make_cluster("oneshot", f=2, seed=3, replica_factory=factory)
+    run_blocks(sim, cluster, 10)
+    log = cluster.replicas[0].log.blocks
+    views = [b.view for b in log]
+    assert 2 in views and 3 in views  # the failed view's block commits too
+
+
+def test_repeated_forcing_keeps_agreement():
+    factory = forced_execution_factory("catchup", every_kth_view(3))
+    sim, net, cluster = make_cluster("oneshot", f=2, seed=4, replica_factory=factory)
+    run_blocks(sim, cluster, 20, max_time=120.0)
+    assert len(cluster.replicas[0].log) >= 20
+    assert prefix_agreement(cluster.logs())
+
+
+def test_silent_next_leader_triggers_revote_avoidance():
+    """Decide, then a silent leader: nodes re-send self-certified nv
+    certs; with the optimization the new leader proposes directly."""
+    plan = FaultPlan().add(1, "silent-leader")
+    sim, net, cluster = run_with_plan(plan, f=1, blocks=12, seed=6)
+    kinds = cluster.collector.execution_kinds()
+    # Views after a silent leader still decide (normal or piggyback,
+    # never needing catch-up as everyone holds the decided block).
+    assert CATCHUP not in kinds.values()
+    assert prefix_agreement(correct_logs(cluster))

@@ -1,0 +1,54 @@
+"""Integration tests at the paper's largest scale: f = 30 — 61-node
+hybrid clusters and a 91-node HotStuff cluster (Sec. VIII)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.smr import prefix_agreement
+
+
+@pytest.mark.parametrize(
+    "protocol,n",
+    [("oneshot", 61), ("oneshot-chained", 61), ("damysus", 61), ("hotstuff", 91)],
+)
+def test_f30_cluster_decides_and_agrees(protocol, n):
+    cfg = ExperimentConfig(
+        protocol=protocol,
+        f=30,
+        deployment="eu",
+        target_blocks=4,
+        seed=3,
+        warmup_blocks=0,
+    )
+    result = run_experiment(cfg)
+    cluster = result.cluster
+    assert len(cluster.replicas) == n
+    assert result.stats.blocks_decided >= 4
+    assert prefix_agreement(cluster.logs())
+    assert result.stats.timeouts == 0
+
+
+def test_f30_replicas_span_all_regions():
+    cfg = ExperimentConfig(
+        protocol="oneshot", f=30, deployment="world", target_blocks=2, seed=3
+    )
+    result = run_experiment(cfg)
+    from repro.net.regions import WORLD11
+
+    regions = {WORLD11.region_of(r.pid) for r in result.cluster.replicas}
+    assert regions == set(WORLD11.regions)  # 61 replicas cover 11 regions
+
+
+def test_f30_message_complexity_stays_linear():
+    counts = {}
+    for f in (10, 30):
+        cfg = ExperimentConfig(
+            protocol="oneshot", f=f, deployment="eu", target_blocks=5, seed=3
+        )
+        result = run_experiment(cfg)
+        counts[f] = result.network.messages_sent / max(
+            1, len(result.collector.decided_blocks())
+        )
+    n10, n30 = 21, 61
+    # Messages per decision grow ~linearly in n (quadratic would be 8.4x).
+    assert counts[30] / counts[10] < (n30 / n10) * 1.5

@@ -1,0 +1,85 @@
+"""Integration tests: open-loop Poisson clients."""
+
+import pytest
+
+from repro.net import ConstantLatency, Network
+from repro.protocols.common import ProtocolConfig, build_cluster
+from repro.protocols.registry import get_protocol
+from repro.sim import Simulator
+from repro.smr import PoissonClient
+
+
+def run_open_loop(rate_tps=200.0, until=3.0, seed=2):
+    info = get_protocol("oneshot")
+    sim = Simulator(seed)
+    net = Network(sim, ConstantLatency(0.002))
+    cluster = build_cluster(
+        info.replica_cls,
+        sim,
+        net,
+        ProtocolConfig(n=3, f=1),
+        saturated=False,
+    )
+    client = PoissonClient(
+        sim,
+        net,
+        pid=1000,
+        replica_pids=[0, 1, 2],
+        f=1,
+        certified_replies=True,
+        rate_tps=rate_tps,
+    )
+    cluster.start()
+    client.start()
+    sim.run(until=until)
+    client.stop()
+    cluster.stop()
+    return cluster, client
+
+
+def test_arrival_rate_close_to_offered_load():
+    cluster, client = run_open_loop(rate_tps=200.0, until=3.0)
+    submitted = len(client.committed) + client.pending()
+    # Poisson(600) should land within a wide tolerance band.
+    assert 400 < submitted < 800
+
+
+def test_open_loop_transactions_commit():
+    cluster, client = run_open_loop(rate_tps=100.0, until=3.0)
+    assert len(client.committed) > 150
+    lats = client.committed_latencies()
+    assert all(lat > 0 for lat in lats)
+    # Constant 2 ms links: commit latency is a few round trips.
+    assert sorted(lats)[len(lats) // 2] < 0.1
+
+
+def test_open_loop_state_applied_consistently():
+    cluster, client = run_open_loop(rate_tps=50.0, until=2.0)
+    digests = {r.log.state.state_digest() for r in cluster.replicas}
+    assert len(digests) == 1
+
+
+def test_rate_must_be_positive():
+    sim = Simulator(0)
+    net = Network(sim, ConstantLatency(0.001))
+    with pytest.raises(ValueError):
+        PoissonClient(
+            sim, net, pid=1000, replica_pids=[0], f=0, rate_tps=0.0
+        )
+
+
+def test_start_is_idempotent_and_stop_halts():
+    cluster, client = run_open_loop(rate_tps=100.0, until=1.0)
+    done = len(client.committed) + client.pending()
+    client.start()
+    client.start()
+    # Already stopped: no further submissions when the sim resumes.
+    client.stop()
+    client.sim.run(until=2.0)
+    assert len(client.committed) + client.pending() == done
+
+
+def test_deterministic_arrivals_per_seed():
+    _, c1 = run_open_loop(rate_tps=100.0, until=1.5, seed=5)
+    _, c2 = run_open_loop(rate_tps=100.0, until=1.5, seed=5)
+    assert len(c1.committed) + c1.pending() == len(c2.committed) + c2.pending()

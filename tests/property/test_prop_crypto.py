@@ -1,0 +1,52 @@
+"""Property tests: the simulated signature scheme behaves like EUF-CMA."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import KeyPair, KeyRing, Signature, sha256
+from repro.tee import provision
+
+CREDS = provision(5)
+RING = CREDS[0].ring
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 4))
+def test_roundtrip(data, owner):
+    d = sha256(data)
+    sig = CREDS[owner].keypair.sign(d)
+    assert RING.verify(d, sig)
+    assert sig.signer == owner
+
+
+@given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=64), st.integers(0, 4))
+def test_tampered_message_rejected(data, other, owner):
+    if sha256(data) == sha256(other):
+        return
+    sig = CREDS[owner].keypair.sign(sha256(data))
+    assert not RING.verify(sha256(other), sig)
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(0, 4), st.integers(0, 4))
+def test_signer_reattribution_rejected(data, owner, claimed):
+    if owner == claimed:
+        return
+    d = sha256(data)
+    sig = CREDS[owner].keypair.sign(d)
+    assert not RING.verify(d, Signature(claimed, sig.tag))
+
+
+@given(st.binary(min_size=32, max_size=32), st.integers(0, 4))
+def test_random_tags_rejected(tag, owner):
+    d = sha256(b"message")
+    real = CREDS[owner].keypair.sign(d)
+    if tag == real.tag:
+        return
+    assert not RING.verify(d, Signature(owner, tag))
+
+
+@given(st.binary(min_size=1, max_size=64))
+def test_cross_instance_keys_disjoint(data):
+    """Keys from a different provisioning domain never verify."""
+    d = sha256(data)
+    stranger = KeyPair.generate(0, master_seed=0, domain="other-world")
+    assert not RING.verify(d, stranger.sign(d))

@@ -1,0 +1,55 @@
+"""Property tests: quorum tracker correctness over random add streams."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.protocols.common import QuorumTracker
+
+adds = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 9)),  # (key, signer)
+    max_size=50,
+)
+
+
+@given(adds, st.integers(1, 5))
+def test_fires_exactly_at_threshold_of_distinct_signers(stream, threshold):
+    tracker = QuorumTracker(threshold)
+    seen: dict[int, set[int]] = {}
+    fired: set[int] = set()
+    for key, signer in stream:
+        result = tracker.add(key, signer, (key, signer))
+        distinct = seen.setdefault(key, set())
+        is_new = signer not in distinct and key not in fired
+        distinct.add(signer)
+        if result is not None:
+            # Fired: exactly when the distinct count first reaches the
+            # threshold, with exactly `threshold` items.
+            assert key not in fired
+            assert is_new
+            assert len(distinct) == threshold
+            assert len(result) == threshold
+            assert len({s for _, s in result}) == threshold
+            fired.add(key)
+        else:
+            assert key in fired or len(distinct) < threshold or not is_new
+
+
+@given(adds, st.integers(1, 5))
+def test_never_fires_twice(stream, threshold):
+    tracker = QuorumTracker(threshold)
+    fire_counts: dict[int, int] = {}
+    for key, signer in stream:
+        if tracker.add(key, signer, signer) is not None:
+            fire_counts[key] = fire_counts.get(key, 0) + 1
+    assert all(c == 1 for c in fire_counts.values())
+
+
+@given(adds)
+def test_count_matches_distinct_signers(stream):
+    tracker = QuorumTracker(1000)  # never fires
+    seen: dict[int, set[int]] = {}
+    for key, signer in stream:
+        tracker.add(key, signer, signer)
+        seen.setdefault(key, set()).add(signer)
+    for key, signers in seen.items():
+        assert tracker.count(key) == len(signers)

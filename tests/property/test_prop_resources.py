@@ -1,0 +1,56 @@
+"""Property tests: FIFO resource (CPU/NIC) occupancy invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Resource
+
+jobs = st.lists(
+    st.tuples(
+        st.floats(0.0, 10.0, allow_nan=False),  # submission delta
+        st.floats(0.0, 1.0, allow_nan=False),  # duration
+    ),
+    max_size=30,
+)
+
+
+@given(jobs)
+def test_completions_monotonic_and_non_overlapping(job_list):
+    r = Resource()
+    now = 0.0
+    prev_end = 0.0
+    total = 0.0
+    for delta, duration in job_list:
+        now += delta
+        end = r.occupy(now, duration)
+        # Work never completes before it is submitted + its duration.
+        assert end >= now + duration
+        # FIFO: completions are monotone.
+        assert end >= prev_end
+        # No overlap: each job occupies after the previous ends.
+        assert end - duration >= min(prev_end, end - duration)
+        prev_end = end
+        total += duration
+    assert r.total_busy == sum(d for _, d in job_list)
+    assert r.jobs == len(job_list)
+
+
+@given(jobs)
+def test_busy_until_equals_last_completion(job_list):
+    r = Resource()
+    now, last = 0.0, 0.0
+    for delta, duration in job_list:
+        now += delta
+        last = r.occupy(now, duration)
+    assert r.busy_until == last
+
+
+@given(jobs)
+def test_utilization_bounded(job_list):
+    r = Resource()
+    now = 0.0
+    for delta, duration in job_list:
+        now += delta
+        r.occupy(now, duration)
+    horizon = max(now, r.busy_until, 1e-9)
+    assert 0.0 <= r.utilization(horizon) <= 1.0

@@ -1,0 +1,51 @@
+"""Unit tests for the pacemaker (exponential backoff)."""
+
+import pytest
+
+from repro.protocols.common import Pacemaker
+
+
+def test_base_timeout_initially():
+    p = Pacemaker(base=1.0, backoff=2.0)
+    assert p.current_timeout() == 1.0
+
+
+def test_backoff_doubles_per_failure():
+    p = Pacemaker(base=1.0, backoff=2.0, maximum=100.0)
+    p.on_timeout()
+    assert p.current_timeout() == 2.0
+    p.on_timeout()
+    assert p.current_timeout() == 4.0
+
+
+def test_progress_resets_backoff():
+    p = Pacemaker(base=1.0, backoff=2.0)
+    p.on_timeout()
+    p.on_timeout()
+    p.on_progress()
+    assert p.current_timeout() == 1.0
+
+
+def test_timeout_capped_at_maximum():
+    p = Pacemaker(base=1.0, backoff=2.0, maximum=5.0)
+    for _ in range(10):
+        p.on_timeout()
+    assert p.current_timeout() == 5.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        Pacemaker(base=0.0)
+    with pytest.raises(ValueError):
+        Pacemaker(base=1.0, backoff=0.5)
+    with pytest.raises(ValueError):
+        Pacemaker(base=10.0, maximum=1.0)
+
+
+def test_backoff_guarantees_unbounded_growth_until_cap():
+    """Liveness (Lemma 2) needs timeouts that eventually exceed any
+    post-GST round-trip duration."""
+    p = Pacemaker(base=0.001, backoff=2.0, maximum=60.0)
+    for _ in range(30):
+        p.on_timeout()
+    assert p.current_timeout() == 60.0

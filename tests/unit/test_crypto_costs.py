@@ -1,0 +1,49 @@
+"""Unit tests for the crypto cost model."""
+
+import pytest
+
+from repro.crypto import FREE, T2_MICRO, CryptoCostModel
+
+
+def test_defaults_positive():
+    m = T2_MICRO
+    assert m.sign() > 0
+    assert m.verify() > 0
+    assert m.hash(1024) > m.hash(0) > 0
+
+
+def test_verify_scales_with_count():
+    m = T2_MICRO
+    assert m.verify(5) == pytest.approx(5 * m.verify(1))
+    assert m.verify(0) == 0.0
+
+
+def test_verify_rejects_negative_count():
+    with pytest.raises(ValueError):
+        T2_MICRO.verify(-1)
+
+
+def test_hash_linear_in_size():
+    m = CryptoCostModel(hash_base=1e-6, hash_per_kb=2e-6)
+    assert m.hash(2048) == pytest.approx(1e-6 + 4e-6)
+
+
+def test_hash_rejects_negative_size():
+    with pytest.raises(ValueError):
+        T2_MICRO.hash(-1)
+
+
+def test_free_model_is_zero():
+    assert FREE.sign() == 0.0
+    assert FREE.verify(100) == 0.0
+    assert FREE.hash(10**6) == 0.0
+
+
+def test_verify_more_expensive_than_sign():
+    # ECDSA-P256 property the calibration must respect.
+    assert T2_MICRO.verify() > T2_MICRO.sign()
+
+
+def test_model_is_frozen():
+    with pytest.raises(Exception):
+        T2_MICRO.sign_time = 0.0

@@ -1,0 +1,59 @@
+"""Unit tests for hashing and canonical encoding."""
+
+import pytest
+
+from repro.crypto import digest_of, encode, sha256, short
+
+
+def test_encode_deterministic():
+    value = ("x", 5, b"\x01", None, True, [1, 2])
+    assert encode(value) == encode(("x", 5, b"\x01", None, True, [1, 2]))
+
+
+def test_encode_type_tags_disambiguate():
+    # The string "1" and the int 1 must encode differently.
+    assert encode("1") != encode(1)
+    # bytes vs str
+    assert encode(b"ab") != encode("ab")
+    # bool vs int
+    assert encode(True) != encode(1)
+
+
+def test_encode_nesting_not_flattened():
+    assert encode((1, (2, 3))) != encode((1, 2, 3))
+    assert encode(((1,), 2)) != encode((1, (2,)))
+
+
+def test_encode_length_prefix_prevents_concat_collisions():
+    assert encode(("ab", "c")) != encode(("a", "bc"))
+
+
+def test_encode_negative_and_large_ints():
+    assert encode(-1) != encode(1)
+    assert encode(2**100) == encode(2**100)
+
+
+def test_encode_rejects_unsupported_types():
+    with pytest.raises(TypeError):
+        encode({"a": 1})
+    with pytest.raises(TypeError):
+        encode(1.5)
+
+
+def test_sha256_is_32_bytes():
+    assert len(sha256(b"data")) == 32
+
+
+def test_digest_of_fields():
+    a = digest_of("block", 1, b"x")
+    b = digest_of("block", 1, b"x")
+    c = digest_of("block", 2, b"x")
+    assert a == b
+    assert a != c
+    assert len(a) == 32
+
+
+def test_short_is_prefix():
+    d = sha256(b"x")
+    assert d.hex().startswith(short(d))
+    assert len(short(d)) == 10

@@ -1,0 +1,91 @@
+"""Unit tests for simulated signatures and key rings."""
+
+import pytest
+
+from repro.crypto import KeyPair, KeyRing, Signature, digest_of
+
+
+@pytest.fixture
+def ring_and_keys():
+    pairs = [KeyPair.generate(i, master_seed=3) for i in range(4)]
+    ring = KeyRing()
+    for kp in pairs:
+        ring.add(kp.public())
+    return ring, pairs
+
+
+def test_sign_verify_roundtrip(ring_and_keys):
+    ring, pairs = ring_and_keys
+    d = digest_of("msg", 1)
+    sig = pairs[0].sign(d)
+    assert sig.signer == 0
+    assert ring.verify(d, sig)
+
+
+def test_tampered_data_fails(ring_and_keys):
+    ring, pairs = ring_and_keys
+    sig = pairs[0].sign(digest_of("msg", 1))
+    assert not ring.verify(digest_of("msg", 2), sig)
+
+
+def test_wrong_signer_attribution_fails(ring_and_keys):
+    ring, pairs = ring_and_keys
+    d = digest_of("msg", 1)
+    sig = pairs[0].sign(d)
+    forged = Signature(signer=1, tag=sig.tag)
+    assert not ring.verify(d, forged)
+
+
+def test_unknown_signer_fails(ring_and_keys):
+    ring, pairs = ring_and_keys
+    d = digest_of("m")
+    outsider = KeyPair.generate(99, master_seed=3)
+    assert not ring.verify(d, outsider.sign(d))
+
+
+def test_garbage_tag_fails(ring_and_keys):
+    ring, _ = ring_and_keys
+    assert not ring.verify(digest_of("m"), Signature(0, b"\x00" * 32))
+
+
+def test_verify_all(ring_and_keys):
+    ring, pairs = ring_and_keys
+    d = digest_of("quorum")
+    sigs = [kp.sign(d) for kp in pairs[:3]]
+    assert ring.verify_all(d, sigs)
+    bad = sigs + [Signature(3, b"\x00" * 32)]
+    assert not ring.verify_all(d, bad)
+
+
+def test_keygen_deterministic():
+    a = KeyPair.generate(1, master_seed=5)
+    b = KeyPair.generate(1, master_seed=5)
+    d = digest_of("x")
+    assert a.sign(d) == b.sign(d)
+
+
+def test_domain_separation():
+    a = KeyPair.generate(1, master_seed=5, domain="tee")
+    b = KeyPair.generate(1, master_seed=5, domain="replica")
+    d = digest_of("x")
+    assert a.sign(d) != b.sign(d)
+
+
+def test_keypair_owner_binding():
+    from repro.tee import provision
+
+    creds = provision(3)
+    assert [c.keypair.owner for c in creds] == [0, 1, 2]
+
+
+def test_ring_membership(ring_and_keys):
+    ring, _ = ring_and_keys
+    assert 0 in ring and 3 in ring and 7 not in ring
+    assert len(ring) == 4
+
+
+def test_public_key_cannot_sign(ring_and_keys):
+    _, pairs = ring_and_keys
+    pk = pairs[0].public()
+    assert not hasattr(pk, "sign")
+    assert not hasattr(pk, "_secret")

@@ -1,0 +1,88 @@
+"""Unit tests for experiment configuration, deployments, and gains."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.deployments import DEPLOYMENTS, latency_model_for
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.gains import PAPER_GAINS, compute_gains, render_gains
+from repro.metrics import RunStats
+from repro.net import ConstantLatency, TopologyLatency
+
+
+def test_config_describe():
+    cfg = ExperimentConfig(protocol="damysus", f=4, deployment="us", seed=9)
+    out = cfg.describe()
+    assert "damysus" in out and "f=4" in out and "us" in out and "seed=9" in out
+
+
+def test_config_defaults_sane():
+    cfg = ExperimentConfig()
+    assert cfg.protocol == "oneshot"
+    assert cfg.gst == 0.0
+    assert cfg.warmup_blocks >= 0
+
+
+def test_deployments_match_paper_fleet_names():
+    assert set(DEPLOYMENTS) == {"eu", "us", "world", "local"}
+
+
+def test_latency_model_types():
+    assert isinstance(latency_model_for("eu"), TopologyLatency)
+    assert isinstance(latency_model_for("local", 0.01), ConstantLatency)
+
+
+def test_latency_model_unknown_deployment():
+    with pytest.raises(KeyError):
+        latency_model_for("mars")
+
+
+def _stats(tput, lat):
+    return RunStats(
+        throughput_tps=tput,
+        mean_latency_s=lat,
+        p50_latency_s=lat,
+        p99_latency_s=lat,
+        blocks_decided=10,
+        txs_decided=4000,
+        views_decided=10,
+        timeouts=0,
+        duration_s=1.0,
+    )
+
+
+def synthetic_panel():
+    """A hand-built Fig. 7 panel with known gains."""
+    result = Fig7Result(deployment="eu", f_values=(1, 2), payloads=(0,))
+    result.runs[("hotstuff", 0)] = {1: _stats(100, 0.10), 2: _stats(50, 0.20)}
+    result.runs[("damysus", 0)] = {1: _stats(200, 0.050), 2: _stats(100, 0.10)}
+    result.runs[("oneshot", 0)] = {1: _stats(400, 0.025), 2: _stats(300, 0.04)}
+    return result
+
+
+def test_compute_gains_exact_values():
+    table = compute_gains(synthetic_panel())
+    hs = table.throughput[(0, "hotstuff")]
+    # f=1: 400/100 -> +300%; f=2: 300/50 -> +500%; avg +400%.
+    assert hs.avg == pytest.approx(400.0)
+    assert (hs.lo, hs.hi) == (300.0, 500.0)
+    dam_lat = table.latency[(0, "damysus")]
+    # f=1: 1-0.025/0.05 = 50%; f=2: 1-0.04/0.1 = 60%.
+    assert dam_lat.avg == pytest.approx(55.0)
+
+
+def test_render_gains_includes_paper_reference():
+    out = render_gains(compute_gains(synthetic_panel()))
+    assert "paper(HS)" in out and "+439%" in out  # EU reference column
+
+
+def test_paper_gains_reference_table_complete():
+    for deployment in ("eu", "us", "world"):
+        for payload in (0, 256):
+            assert len(PAPER_GAINS[deployment][payload]) == 4
+
+
+def test_fig7_result_series_accessors():
+    panel = synthetic_panel()
+    assert panel.throughput_series("oneshot", 0) == [400, 300]
+    assert panel.latency_series("oneshot", 0) == [25.0, 40.0]

@@ -1,0 +1,101 @@
+"""Unit tests for the fault-injection machinery."""
+
+import math
+
+import pytest
+
+from repro.core import OneShotReplica
+from repro.faults import (
+    BEHAVIOURS,
+    FaultPlan,
+    every_kth_view,
+    force_catchup_cls,
+    force_piggyback_cls,
+    forced_execution_factory,
+    make_byzantine,
+)
+
+
+def test_behaviour_registry_complete():
+    assert set(BEHAVIOURS) == {
+        "crashed",
+        "silent-leader",
+        "slow",
+        "withhold",
+        "equivocate",
+        "garbage",
+    }
+
+
+def test_make_byzantine_subclasses_protocol_replica():
+    cls = make_byzantine(OneShotReplica, "crashed")
+    assert issubclass(cls, OneShotReplica)
+    assert cls.byzantine is True
+    assert cls.fault_start == 0.0 and cls.fault_end == math.inf
+
+
+def test_make_byzantine_window_and_attrs():
+    cls = make_byzantine(
+        OneShotReplica, "slow", fault_start=1.0, fault_end=2.0, slow_delay=0.7
+    )
+    assert cls.fault_start == 1.0 and cls.fault_end == 2.0
+    assert cls.slow_delay == 0.7
+
+
+def test_make_byzantine_unknown_behaviour():
+    with pytest.raises(KeyError):
+        make_byzantine(OneShotReplica, "teleport")
+
+
+def test_fault_plan_factory_targets_only_assigned_pids():
+    plan = FaultPlan().add(2, "crashed")
+    factory = plan.factory()
+    assert factory(0, OneShotReplica) is OneShotReplica
+    byz = factory(2, OneShotReplica)
+    assert byz is not OneShotReplica and byz.byzantine
+
+
+def test_fault_plan_rejects_duplicate_pid():
+    plan = FaultPlan().add(1, "crashed")
+    with pytest.raises(ValueError):
+        plan.add(1, "slow")
+
+
+def test_fault_plan_faulty_pids():
+    plan = FaultPlan().add(1, "crashed").add(3, "slow")
+    assert plan.faulty_pids == {1, 3}
+
+
+def test_every_kth_view_selector():
+    sel = every_kth_view(3, start=2)
+    assert [v for v in range(12) if sel(v)] == [3, 6, 9]
+    sel0 = every_kth_view(4, offset=1, start=0)
+    assert [v for v in range(12) if sel0(v)] == [1, 5, 9]
+
+
+def test_every_kth_view_rejects_bad_k():
+    with pytest.raises(ValueError):
+        every_kth_view(0)
+
+
+def test_forcer_classes_are_not_marked_byzantine():
+    """Forcers model degraded conditions, not adversaries — their
+    replicas must stay in the 'correct' set for agreement checks."""
+    pig = force_piggyback_cls(OneShotReplica, lambda v: False)
+    cat = force_catchup_cls(OneShotReplica, lambda v: False)
+    assert not getattr(pig, "byzantine", False)
+    assert not getattr(cat, "byzantine", False)
+    assert pig.forced == "piggyback" and cat.forced == "catchup"
+
+
+def test_forced_execution_factory_validates_mode():
+    with pytest.raises(ValueError):
+        forced_execution_factory("explode", lambda v: True)
+
+
+def test_forced_execution_factory_wraps_every_pid():
+    factory = forced_execution_factory("piggyback", lambda v: v == 2)
+    for pid in range(5):
+        cls = factory(pid, OneShotReplica)
+        assert cls.forced == "piggyback"
+        assert issubclass(cls, OneShotReplica)

@@ -1,0 +1,78 @@
+"""Unit tests for message-flow timelines (Figs. 2-4 as traces)."""
+
+import pytest
+
+from repro.metrics.timeline import (
+    classify_oneshot,
+    extract_waves,
+    render_timeline,
+)
+
+from ..conftest import make_cluster, run_blocks
+
+
+@pytest.fixture(scope="module")
+def logged_run():
+    sim, net, cluster = make_cluster("oneshot", f=1, seed=41, enable_log=True)
+    run_blocks(sim, cluster, 6)
+    return net.message_log
+
+
+def test_classify_covers_all_protocol_messages(logged_run):
+    classified = [classify_oneshot(e.payload) for e in logged_run]
+    assert all(c is not None for c in classified)
+    steps = {c[0] for c in classified}
+    assert steps == {"new-view", "proposal", "store", "prep-cert"}
+
+
+def test_classify_ignores_foreign_payloads():
+    assert classify_oneshot(object()) is None
+    assert classify_oneshot("text") is None
+
+
+def test_extract_waves_groups_per_view(logged_run):
+    waves = extract_waves(logged_run, first_view=2, last_view=2)
+    assert {w.step for w in waves} == {
+        "new-view",
+        "proposal",
+        "store",
+        "prep-cert",
+    }
+    assert all(w.view == 2 for w in waves)
+
+
+def test_wave_counts_match_cluster_size(logged_run):
+    waves = {w.step: w for w in extract_waves(logged_run, first_view=2, last_view=2)}
+    # n=3: proposal/prep-cert broadcast to all 3; stores from all 3.
+    assert waves["proposal"].count == 3
+    assert waves["prep-cert"].count == 3
+    assert waves["store"].count == 3
+
+
+def test_waves_time_ordered(logged_run):
+    waves = extract_waves(logged_run, first_view=2, last_view=3)
+    times = [w.first_send for w in waves]
+    assert times == sorted(times)
+
+
+def test_normal_view_wave_order(logged_run):
+    order = [w.step for w in extract_waves(logged_run, first_view=2, last_view=2)]
+    assert order == ["new-view", "proposal", "store", "prep-cert"]
+
+
+def test_endpoints_rendering(logged_run):
+    waves = {w.step: w for w in extract_waves(logged_run, first_view=2, last_view=2)}
+    leader = 2 % 3
+    assert waves["proposal"].endpoints() == f"r{leader}->*"
+    assert waves["store"].endpoints() == f"*->r{leader}"
+
+
+def test_render_timeline(logged_run):
+    out = render_timeline(extract_waves(logged_run, first_view=2, last_view=2), title="view 2")
+    assert out.startswith("view 2")
+    assert "proposal" in out and "prep-cert" in out
+    assert "+   0.00ms" in out or "+  0.00ms" in out.replace("  ", " ")
+
+
+def test_render_empty():
+    assert "(no messages)" in render_timeline([])

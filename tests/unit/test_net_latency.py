@@ -1,0 +1,65 @@
+"""Unit tests for latency models."""
+
+import numpy as np
+import pytest
+
+from repro.net import ConstantLatency, TopologyLatency, UniformLatency
+from repro.net.regions import EU4
+
+RNG = np.random.default_rng(0)
+
+
+def test_constant_latency():
+    m = ConstantLatency(0.01)
+    assert m.sample(0, 1, RNG) == 0.01
+    assert m.sample(2, 5, RNG) == 0.01
+
+
+def test_constant_loopback_is_tiny():
+    m = ConstantLatency(0.01)
+    assert m.sample(3, 3, RNG) < 1e-5
+
+
+def test_constant_rejects_negative():
+    with pytest.raises(ValueError):
+        ConstantLatency(-1.0)
+
+
+def test_uniform_within_bounds():
+    m = UniformLatency(0.01, 0.02)
+    samples = [m.sample(0, 1, RNG) for _ in range(100)]
+    assert all(0.01 <= s <= 0.02 for s in samples)
+
+
+def test_uniform_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        UniformLatency(0.02, 0.01)
+
+
+def test_topology_latency_mean_matches_matrix():
+    m = TopologyLatency(EU4, sigma=0.05)
+    base = EU4.one_way_s(0, 3)
+    samples = np.array([m.sample(0, 3, RNG) for _ in range(500)])
+    # Log-normal with small sigma: mean within a few percent of base.
+    assert abs(samples.mean() - base) / base < 0.05
+
+
+def test_topology_latency_zero_sigma_is_deterministic():
+    m = TopologyLatency(EU4, sigma=0.0)
+    assert m.sample(0, 3, RNG) == m.sample(0, 3, RNG) == EU4.one_way_s(0, 3)
+
+
+def test_topology_latency_jitter_varies():
+    m = TopologyLatency(EU4, sigma=0.1)
+    samples = {m.sample(0, 3, RNG) for _ in range(10)}
+    assert len(samples) > 1
+
+
+def test_topology_rejects_negative_sigma():
+    with pytest.raises(ValueError):
+        TopologyLatency(EU4, sigma=-0.1)
+
+
+def test_topology_loopback_is_tiny():
+    m = TopologyLatency(EU4)
+    assert m.sample(2, 2, RNG) < 1e-5

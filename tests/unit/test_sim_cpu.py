@@ -1,0 +1,79 @@
+"""Unit tests for the CPU/NIC resource model."""
+
+import pytest
+
+from repro.sim import Cpu, Nic, Resource
+
+
+def test_idle_resource_starts_immediately():
+    r = Resource()
+    assert r.occupy(now=5.0, duration=1.0) == 6.0
+
+
+def test_busy_resource_queues_work():
+    r = Resource()
+    r.occupy(0.0, 2.0)
+    # Submitted at t=1 while busy until t=2: starts at 2, ends at 3.
+    assert r.occupy(1.0, 1.0) == 3.0
+
+
+def test_zero_duration_work():
+    r = Resource()
+    assert r.occupy(1.0, 0.0) == 1.0
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        Resource().occupy(0.0, -1.0)
+
+
+def test_queueing_delay():
+    r = Resource()
+    r.occupy(0.0, 3.0)
+    assert r.queueing_delay(1.0) == 2.0
+    assert r.queueing_delay(5.0) == 0.0
+
+
+def test_utilization():
+    r = Resource()
+    r.occupy(0.0, 2.0)
+    assert r.utilization(4.0) == pytest.approx(0.5)
+    assert r.utilization(0.0) == 0.0
+
+
+def test_total_busy_accumulates():
+    r = Resource()
+    r.occupy(0.0, 1.0)
+    r.occupy(0.0, 2.0)
+    assert r.total_busy == 3.0
+    assert r.jobs == 2
+
+
+def test_reset():
+    r = Resource()
+    r.occupy(0.0, 1.0)
+    r.reset()
+    assert r.busy_until == 0.0
+    assert r.total_busy == 0.0
+    assert r.jobs == 0
+
+
+def test_nic_serialization_time():
+    nic = Nic(bandwidth_bps=8e6)  # 1 MB/s
+    # 1000 bytes at 1 MB/s -> 1 ms.
+    assert nic.serialize(0.0, 1000) == pytest.approx(0.001)
+
+
+def test_nic_serializes_back_to_back():
+    nic = Nic(bandwidth_bps=8e6)
+    nic.serialize(0.0, 1000)
+    assert nic.serialize(0.0, 1000) == pytest.approx(0.002)
+
+
+def test_nic_requires_positive_bandwidth():
+    with pytest.raises(ValueError):
+        Nic(bandwidth_bps=0)
+
+
+def test_cpu_is_a_resource():
+    assert isinstance(Cpu(), Resource)

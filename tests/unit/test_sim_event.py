@@ -1,0 +1,88 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.event import Event, EventQueue
+
+
+def test_push_pop_orders_by_time():
+    q = EventQueue()
+    seen = []
+    q.push(2.0, seen.append, ("b",))
+    q.push(1.0, seen.append, ("a",))
+    q.push(3.0, seen.append, ("c",))
+    while (ev := q.pop()) is not None:
+        ev.callback(*ev.args)
+    assert seen == ["a", "b", "c"]
+
+
+def test_equal_times_fire_in_insertion_order():
+    q = EventQueue()
+    order = []
+    for i in range(10):
+        q.push(1.0, order.append, (i,))
+    while (ev := q.pop()) is not None:
+        ev.callback(*ev.args)
+    assert order == list(range(10))
+
+
+def test_priority_breaks_ties_before_seq():
+    q = EventQueue()
+    order = []
+    q.push(1.0, order.append, ("low",), priority=1)
+    q.push(1.0, order.append, ("high",), priority=0)
+    while (ev := q.pop()) is not None:
+        ev.callback(*ev.args)
+    assert order == ["high", "low"]
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    fired = []
+    ev = q.push(1.0, fired.append, (1,))
+    q.push(2.0, fired.append, (2,))
+    ev.cancel()
+    while (e := q.pop()) is not None:
+        e.callback(*e.args)
+    assert fired == [2]
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    assert q.peek_time() == 1.0
+    first.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_len_counts_queued_events():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+
+
+def test_clear_empties_queue():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.clear()
+    assert q.pop() is None
+
+
+def test_event_labels_preserved():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None, label="hello")
+    assert ev.label == "hello"

@@ -1,0 +1,125 @@
+"""Unit tests for the simulator core."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_advances_clock_to_event_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [1.5]
+    assert sim.now == 1.5
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    hits = []
+    sim.schedule_at(3.0, hits.append, 3)
+    sim.schedule_at(1.0, hits.append, 1)
+    sim.run()
+    assert hits == [1, 3]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, 1)
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()  # event is still queued
+    assert fired == [1]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    hits = []
+    for i in range(5):
+        sim.schedule(i + 1.0, hits.append, i)
+    sim.run(max_events=3)
+    assert hits == [0, 1, 2]
+
+
+def test_stop_when_predicate():
+    sim = Simulator()
+    hits = []
+    for i in range(5):
+        sim.schedule(i + 1.0, hits.append, i)
+    sim.run(stop_when=lambda: len(hits) >= 2)
+    assert hits == [0, 1]
+
+
+def test_events_can_schedule_more_events():
+    sim = Simulator()
+    seen = []
+
+    def chain(k):
+        seen.append(k)
+        if k < 3:
+            sim.schedule(1.0, chain, k + 1)
+
+    sim.schedule(1.0, chain, 0)
+    sim.run()
+    assert seen == [0, 1, 2, 3]
+    assert sim.now == 4.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, 1)
+    ev.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for _ in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_executed == 4
+
+
+def test_trace_hook_called_per_event():
+    trace = []
+    sim = Simulator(trace=lambda t, label: trace.append((t, label)))
+    sim.schedule(1.0, lambda: None, label="x")
+    sim.run()
+    assert trace == [(1.0, "x")]
+
+
+def test_loop_not_reentrant():
+    sim = Simulator()
+
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_pending_events():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert sim.pending_events() == 1

@@ -1,0 +1,111 @@
+"""Unit tests for the client reply logic (quorum vs certified trust)."""
+
+import pytest
+
+from repro.net import ConstantLatency, Network
+from repro.sim import Simulator
+from repro.smr import Client, Reply, SubmitTx
+
+
+class FakeReplica:
+    """Registered network endpoint that records submissions."""
+
+    def __init__(self, sim, pid):
+        self.sim = sim
+        self.pid = pid
+        self.name = f"fake{pid}"
+        self.received = []
+
+    def on_message(self, sender, payload):
+        self.received.append((sender, payload))
+
+
+def setup(f=1, certified=False):
+    sim = Simulator(0)
+    net = Network(sim, ConstantLatency(0.001))
+    replicas = [FakeReplica(sim, i) for i in range(3)]
+    for r in replicas:
+        net.register(r)
+    client = Client(
+        sim, net, pid=1000, replica_pids=[0, 1, 2], f=f,
+        certified_replies=certified,
+    )
+    return sim, net, replicas, client
+
+
+def test_submit_broadcasts_to_all_replicas():
+    sim, net, replicas, client = setup()
+    tx = client.submit(("set", "k", 1))
+    sim.run()
+    for r in replicas:
+        assert len(r.received) == 1
+        assert isinstance(r.received[0][1], SubmitTx)
+        assert r.received[0][1].tx.key() == tx.key()
+
+
+def test_quorum_client_waits_for_f_plus_1_distinct():
+    sim, net, replicas, client = setup(f=1, certified=False)
+    tx = client.submit(None)
+    sim.run()
+    key = tx.key()
+    client.on_message(0, Reply(key, view=1, replica=0))
+    assert key not in client.committed
+    client.on_message(0, Reply(key, view=1, replica=0))  # duplicate replica
+    assert key not in client.committed
+    client.on_message(1, Reply(key, view=1, replica=1))
+    assert key in client.committed
+
+
+def test_certified_client_trusts_single_certified_reply():
+    sim, net, replicas, client = setup(certified=True)
+    tx = client.submit(None)
+    sim.run()
+    client.on_message(2, Reply(tx.key(), view=1, replica=2, certified=True))
+    assert tx.key() in client.committed
+
+
+def test_certified_client_falls_back_to_quorum_for_plain_replies():
+    sim, net, replicas, client = setup(f=1, certified=True)
+    tx = client.submit(None)
+    sim.run()
+    client.on_message(0, Reply(tx.key(), view=1, replica=0, certified=False))
+    assert tx.key() not in client.committed
+    client.on_message(1, Reply(tx.key(), view=1, replica=1, certified=False))
+    assert tx.key() in client.committed
+
+
+def test_replies_for_unknown_tx_ignored():
+    sim, net, replicas, client = setup()
+    client.on_message(0, Reply((9, 9), view=1, replica=0, certified=True))
+    assert (9, 9) not in client.committed
+
+
+def test_latency_none_until_committed():
+    sim, net, replicas, client = setup(certified=True)
+    tx = client.submit(None)
+    sim.run()
+    assert client.latency(tx) is None
+    client.on_message(0, Reply(tx.key(), view=1, replica=0, certified=True))
+    assert client.latency(tx) is not None and client.latency(tx) >= 0
+
+
+def test_pending_count():
+    sim, net, replicas, client = setup(certified=True)
+    t1, t2 = client.submit(None), client.submit(None)
+    sim.run()
+    assert client.pending() == 2
+    client.on_message(0, Reply(t1.key(), view=1, replica=0, certified=True))
+    assert client.pending() == 1
+
+
+def test_result_recorded_on_commit():
+    sim, net, replicas, client = setup(certified=True)
+    tx = client.submit(None)
+    sim.run()
+    client.on_message(0, Reply(tx.key(), 1, 0, certified=True, result="ok"))
+    assert client.results[tx.key()] == "ok"
+
+
+def test_non_reply_payloads_ignored():
+    sim, net, replicas, client = setup()
+    client.on_message(0, "garbage")  # must not raise

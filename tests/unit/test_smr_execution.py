@@ -1,0 +1,125 @@
+"""Unit tests for execution logs and the KV state machine."""
+
+import pytest
+
+from repro.smr import (
+    GENESIS,
+    ExecutionLog,
+    KVStore,
+    Transaction,
+    create_leaf,
+    prefix_agreement,
+)
+
+
+def _block(parent, view, ops=()):
+    txs = tuple(
+        Transaction(client_id=1, tx_id=view * 100 + i, op=op)
+        for i, op in enumerate(ops)
+    )
+    return create_leaf(parent, view, txs, proposer=0)
+
+
+def test_kv_set_get_del():
+    kv = KVStore()
+    kv.apply(("set", "a", 1))
+    assert kv.get("a") == 1
+    kv.apply(("del", "a"))
+    assert kv.get("a") is None
+    kv.apply(("del", "a"))  # deleting absent key is fine
+
+
+def test_kv_add_accumulates():
+    kv = KVStore()
+    kv.apply(("add", "c", 2))
+    kv.apply(("add", "c", 3))
+    assert kv.get("c") == 5
+
+
+def test_kv_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        KVStore().apply(("frobnicate", "x"))
+
+
+def test_kv_none_op_is_noop():
+    kv = KVStore()
+    kv.apply(None)
+    assert kv.ops_applied == 0
+
+
+def test_kv_state_digest_order_independent():
+    a, b = KVStore(), KVStore()
+    a.apply(("set", "x", 1))
+    a.apply(("set", "y", 2))
+    b.apply(("set", "y", 2))
+    b.apply(("set", "x", 1))
+    assert a.state_digest() == b.state_digest()
+
+
+def test_log_executes_in_chain_order():
+    log = ExecutionLog()
+    b1 = _block(GENESIS.hash, 0, [("set", "k", 1)])
+    b2 = _block(b1.hash, 1, [("set", "k", 2)])
+    log.execute(b1, 1.0)
+    log.execute(b2, 2.0)
+    assert len(log) == 2
+    assert log.head_hash() == b2.hash
+    assert log.state.get("k") == 2
+    assert log.execution_time(1) == 2.0
+
+
+def test_log_rejects_double_execution():
+    log = ExecutionLog()
+    b1 = _block(GENESIS.hash, 0)
+    log.execute(b1, 1.0)
+    with pytest.raises(ValueError):
+        log.execute(b1, 2.0)
+
+
+def test_log_rejects_out_of_order():
+    log = ExecutionLog()
+    b1 = _block(GENESIS.hash, 0)
+    orphan = _block(b"\x22" * 32, 1)
+    log.execute(b1, 1.0)
+    with pytest.raises(ValueError):
+        log.execute(orphan, 2.0)
+
+
+def test_genesis_counts_as_executed():
+    log = ExecutionLog()
+    assert log.is_executed(GENESIS.hash)
+    assert len(log) == 0
+
+
+def test_log_digest_tracks_order():
+    log1, log2 = ExecutionLog(), ExecutionLog()
+    b1 = _block(GENESIS.hash, 0)
+    assert log1.log_digest() == log2.log_digest()
+    log1.execute(b1, 1.0)
+    assert log1.log_digest() != log2.log_digest()
+
+
+def test_txs_executed_counter():
+    log = ExecutionLog()
+    b1 = _block(GENESIS.hash, 0, [("set", "a", 1), ("set", "b", 2)])
+    log.execute(b1, 1.0)
+    assert log.txs_executed == 2
+
+
+def test_prefix_agreement_holds_for_prefixes():
+    b1 = _block(GENESIS.hash, 0)
+    b2 = _block(b1.hash, 1)
+    l1, l2 = ExecutionLog(), ExecutionLog()
+    l1.execute(b1, 1.0)
+    l1.execute(b2, 2.0)
+    l2.execute(b1, 1.0)
+    assert prefix_agreement([l1, l2])
+
+
+def test_prefix_agreement_detects_forks():
+    b1 = _block(GENESIS.hash, 0)
+    fork = _block(GENESIS.hash, 5)
+    l1, l2 = ExecutionLog(), ExecutionLog()
+    l1.execute(b1, 1.0)
+    l2.execute(fork, 1.0)
+    assert not prefix_agreement([l1, l2])

@@ -1,0 +1,72 @@
+"""Unit tests for mempools and workload sources."""
+
+from repro.smr import BLOCK_TXS, Mempool, SaturatedSource, Transaction, TxFactory
+
+
+def test_block_txs_matches_paper():
+    assert BLOCK_TXS == 400
+
+
+def test_saturated_source_full_batches():
+    src = SaturatedSource(payload_bytes=256)
+    batch = src.batch(400)
+    assert len(batch) == 400
+    assert all(t.payload_bytes == 256 for t in batch)
+
+
+def test_saturated_source_ids_increase():
+    src = SaturatedSource()
+    a = src.batch(3)
+    b = src.batch(3)
+    assert [t.tx_id for t in a + b] == list(range(6))
+
+
+def test_mempool_fifo_order():
+    mp = Mempool(batch_size=10)
+    f = TxFactory(1)
+    txs = [f.make() for _ in range(3)]
+    for t in txs:
+        mp.submit(t)
+    assert mp.next_batch() == tuple(txs)
+
+
+def test_mempool_dedup():
+    mp = Mempool()
+    t = Transaction(1, 1)
+    assert mp.submit(t)
+    assert not mp.submit(t)
+    assert len(mp) == 1
+
+
+def test_mempool_mark_committed_removes_and_blocks_resubmit():
+    mp = Mempool()
+    t = Transaction(1, 1)
+    mp.submit(t)
+    mp.mark_committed(t)
+    assert len(mp) == 0
+    assert not mp.submit(t)
+
+
+def test_mempool_tops_up_from_source():
+    mp = Mempool(source=SaturatedSource(), batch_size=5)
+    client_tx = Transaction(1, 1)
+    mp.submit(client_tx)
+    batch = mp.next_batch()
+    assert len(batch) == 5
+    assert batch[0] is client_tx  # client txs first
+
+
+def test_mempool_without_source_returns_partial_batch():
+    mp = Mempool(batch_size=5)
+    mp.submit(Transaction(1, 1))
+    assert len(mp.next_batch()) == 1
+    assert mp.next_batch() == ()
+
+
+def test_batch_size_respected_with_many_pending():
+    mp = Mempool(batch_size=2)
+    f = TxFactory(9)
+    for _ in range(5):
+        mp.submit(f.make())
+    assert len(mp.next_batch()) == 2
+    assert len(mp) == 3

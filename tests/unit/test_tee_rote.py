@@ -1,0 +1,117 @@
+"""Unit tests: ROTE-style rollback protection (Sec. II defense)."""
+
+import pytest
+
+from repro.core.certificates import GENESIS_PROPOSAL
+from repro.core.tee_services import Checker
+from repro.crypto import FREE, digest_of
+from repro.tee import TeeCostModel, provision, rollback, snapshot
+from repro.tee.rote import (
+    RollbackDetected,
+    RoteGroup,
+    SealedRecord,
+    make_protected_checker,
+)
+
+CREDS = provision(3)
+RING = CREDS[0].ring
+ProtectedChecker = make_protected_checker(Checker)
+
+
+def make_protected(group, owner=0):
+    checker = ProtectedChecker(
+        owner,
+        CREDS[owner].keypair,
+        RING,
+        FREE,
+        TeeCostModel.free(),
+        lambda v: v % 3,
+    )
+    checker.attach_group(group)
+    return checker
+
+
+def test_normal_operation_unaffected():
+    group = RoteGroup()
+    c = make_protected(group)
+    assert c.tee_store(GENESIS_PROPOSAL) is not None
+    assert c.view == 1
+    assert not c.halted
+
+
+def test_mutating_ecalls_replicate_versions():
+    group = RoteGroup()
+    c = make_protected(group)
+    v0 = group.latest(0).version
+    c.tee_store(GENESIS_PROPOSAL)
+    c.tee_store(GENESIS_PROPOSAL)
+    assert group.latest(0).version == v0 + 2
+
+
+def test_failed_ecalls_do_not_bump_version():
+    group = RoteGroup()
+    c = make_protected(group)
+    c.tee_prepare(digest_of("b"))
+    v = group.latest(0).version
+    assert c.tee_prepare(digest_of("other")) is None  # refused
+    assert group.latest(0).version == v
+
+
+def test_restart_without_rollback_is_clean():
+    group = RoteGroup()
+    c = make_protected(group)
+    c.tee_store(GENESIS_PROPOSAL)
+    c.restart()
+    assert not c.halted
+    assert c.tee_store(GENESIS_PROPOSAL) is not None
+
+
+def test_rollback_attack_detected_and_enclave_halts():
+    group = RoteGroup()
+    c = make_protected(group)
+    snap = snapshot(c)
+    c.tee_store(GENESIS_PROPOSAL)  # spend view 0
+    rollback(c, snap)  # adversary restores the old sealed state
+    with pytest.raises(RollbackDetected):
+        c.restart()
+    assert c.halted
+    # A halted enclave issues nothing — the spent counter stays spent.
+    assert c.tee_store(GENESIS_PROPOSAL) is None
+    assert c.tee_prepare(digest_of("x")) is None
+    assert c.tee_vote(digest_of("x")) is None
+
+
+def test_unprotected_checker_is_vulnerable_for_contrast():
+    creds = CREDS[0]
+    plain = Checker(
+        0, creds.keypair, RING, FREE, TeeCostModel.free(), lambda v: v % 3
+    )
+    snap = snapshot(plain)
+    s1 = plain.tee_store(GENESIS_PROPOSAL)
+    rollback(plain, snap)
+    s2 = plain.tee_store(GENESIS_PROPOSAL)
+    # Without ROTE the attacker obtains two certificates for view 0.
+    assert s1 is not None and s2 is not None
+    assert s1.stored_view == s2.stored_view == 0
+
+
+def test_group_keeps_monotone_maximum():
+    group = RoteGroup()
+    group.replicate(SealedRecord(7, 3, digest_of("a")))
+    group.replicate(SealedRecord(7, 1, digest_of("b")))  # stale echo
+    assert group.latest(7).version == 3
+
+
+def test_group_tracks_owners_independently():
+    group = RoteGroup()
+    a, b = make_protected(group, 0), make_protected(group, 1)
+    a.tee_store(GENESIS_PROPOSAL)
+    assert group.latest(0).version > group.latest(1).version
+
+
+def test_echo_cost_charged():
+    group = RoteGroup()
+    c = make_protected(group)
+    c.drain_cost()
+    c.tee_store(GENESIS_PROPOSAL)
+    assert c.drain_cost() >= RoteGroup.ECHO_COST_S

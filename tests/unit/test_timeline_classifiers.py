@@ -1,0 +1,60 @@
+"""Unit tests: timeline classifiers for every protocol family."""
+
+import pytest
+
+from repro.metrics import CLASSIFIERS, extract_waves
+from repro.protocols.registry import REGISTRY
+
+from ..conftest import make_cluster, run_blocks
+
+
+def test_every_registered_protocol_has_a_classifier():
+    assert set(CLASSIFIERS) == set(REGISTRY)
+
+
+@pytest.mark.parametrize("protocol", sorted(REGISTRY))
+def test_classifier_covers_all_steady_state_messages(protocol):
+    sim, net, cluster = make_cluster(protocol, f=1, seed=33, enable_log=True)
+    run_blocks(sim, cluster, 6)
+    classify = CLASSIFIERS[protocol]
+    unclassified = [
+        type(e.payload).__name__
+        for e in net.message_log
+        if classify(e.payload) is None
+    ]
+    assert unclassified == []
+
+
+def test_damysus_view_waves():
+    sim, net, cluster = make_cluster("damysus", f=1, seed=34, enable_log=True)
+    run_blocks(sim, cluster, 6)
+    waves = extract_waves(
+        net.message_log, CLASSIFIERS["damysus"], first_view=3, last_view=3
+    )
+    assert {w.step for w in waves} == {
+        "new-view",
+        "proposal",
+        "vote-prepare",
+        "cert-prepare",
+        "vote-commit",
+        "cert-commit",
+    }  # the six steps of Sec. III
+
+
+def test_hotstuff_view_waves():
+    sim, net, cluster = make_cluster("hotstuff", f=1, seed=35, enable_log=True)
+    run_blocks(sim, cluster, 6)
+    waves = extract_waves(
+        net.message_log, CLASSIFIERS["hotstuff"], first_view=3, last_view=3
+    )
+    assert len(waves) == 8  # the eight steps of Fig. 1
+
+
+def test_chained_views_have_two_waves():
+    for protocol in ("oneshot-chained", "damysus-chained", "hotstuff-chained"):
+        sim, net, cluster = make_cluster(protocol, f=1, seed=36, enable_log=True)
+        run_blocks(sim, cluster, 8)
+        waves = extract_waves(
+            net.message_log, CLASSIFIERS[protocol], first_view=4, last_view=4
+        )
+        assert len(waves) == 2, protocol  # proposal + vote/store

@@ -15,3 +15,5 @@ Layers (bottom-up):
 """
 
 __version__ = "1.0.0"
+
+__all__ = ["__version__"]

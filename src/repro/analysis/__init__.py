@@ -1,0 +1,51 @@
+"""Static and runtime enforcement of the reproduction's invariants.
+
+* :mod:`repro.analysis.engine` / :mod:`repro.analysis.rules` — an
+  AST lint engine that walks every module under ``repro`` and checks
+  the invariants the paper's argument rests on (determinism, TEE
+  encapsulation, message immutability, hygiene);
+* :mod:`repro.analysis.sanitizer` — runtime checks: same-seed replay
+  stability and the no-equivocation oracle.
+
+See ``docs/invariants.md`` for the rule catalogue and
+``oneshot-repro lint`` for the CLI gate.
+"""
+
+from .engine import (
+    LintEngine,
+    LintReport,
+    find_pyproject,
+    lint_package,
+    load_suppressions,
+)
+from .findings import Finding, Suppression
+from .rules import default_rules
+from .sanitizer import (
+    DeterminismViolation,
+    EquivocationDetected,
+    RunFingerprint,
+    assert_no_equivocation,
+    check_determinism,
+    find_equivocations,
+    fingerprint_run,
+    replay_and_check,
+)
+
+__all__ = [
+    "LintEngine",
+    "LintReport",
+    "Finding",
+    "Suppression",
+    "default_rules",
+    "lint_package",
+    "load_suppressions",
+    "find_pyproject",
+    "RunFingerprint",
+    "DeterminismViolation",
+    "EquivocationDetected",
+    "fingerprint_run",
+    "check_determinism",
+    "find_equivocations",
+    "assert_no_equivocation",
+    "replay_and_check",
+]

@@ -1,0 +1,184 @@
+"""The lint engine: parse every module under a root, run every rule.
+
+``LintEngine(rules).run(root)`` walks ``root`` (normally the installed
+``repro`` package directory), parses each ``*.py`` once, feeds the
+tree to every rule, and partitions the resulting findings against the
+suppression list into *active* and *suppressed*.  Unused suppressions
+are themselves reported so the curated list in ``pyproject.toml``
+cannot rot.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from .findings import Finding, Suppression
+from .rules import ModuleInfo, Rule, default_rules
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run."""
+
+    root: str
+    modules_checked: int = 0
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    unused_suppressions: list[Suppression] = field(default_factory=list)
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        for err in self.parse_errors:
+            lines.append(f"PARSE ERROR: {err}")
+        for f in self.findings:
+            lines.append(f.render())
+        for s in self.unused_suppressions:
+            lines.append(f"note: unused suppression {s.spec()!r}")
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.modules_checked} "
+            f"module(s), {len(self.suppressed)} suppressed"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "root": self.root,
+                "clean": self.clean,
+                "modules_checked": self.modules_checked,
+                "findings": [f.to_dict() for f in self.findings],
+                "suppressed": [f.to_dict() for f in self.suppressed],
+                "unused_suppressions": [s.spec() for s in self.unused_suppressions],
+                "parse_errors": list(self.parse_errors),
+            },
+            indent=2,
+        )
+
+
+class LintEngine:
+    """Runs a rule set over a package tree."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        suppressions: Iterable[Suppression] = (),
+    ) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        self.suppressions = list(suppressions)
+
+    # ------------------------------------------------------------------
+    # Module loading
+    # ------------------------------------------------------------------
+    @staticmethod
+    def load_module(path: Path, rel: str) -> ModuleInfo:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return ModuleInfo(path=rel, tree=tree, source=source)
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        out: list[Finding] = []
+        for rule in self.rules:
+            out.extend(rule.check(module))
+        return out
+
+    def check_source(self, source: str, path: str = "repro/example.py") -> list[Finding]:
+        """Lint a source string (test/tooling convenience)."""
+        module = ModuleInfo(path=path, tree=ast.parse(source), source=source)
+        return self.check_module(module)
+
+    # ------------------------------------------------------------------
+    # Tree walk
+    # ------------------------------------------------------------------
+    def run(self, root: Path) -> LintReport:
+        """Lint every ``*.py`` under ``root``.
+
+        Module paths in findings are relative to ``root``'s *parent*,
+        so linting ``.../src/repro`` yields paths like
+        ``repro/sim/rng.py`` — the form the suppression list uses.
+        """
+        root = Path(root)
+        report = LintReport(root=str(root))
+        raw: list[Finding] = []
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root.parent).as_posix()
+            try:
+                module = self.load_module(path, rel)
+            except SyntaxError as exc:
+                report.parse_errors.append(f"{rel}: {exc}")
+                continue
+            report.modules_checked += 1
+            raw.extend(self.check_module(module))
+        used: set[int] = set()
+        for f in raw:
+            for i, s in enumerate(self.suppressions):
+                if s.matches(f):
+                    used.add(i)
+                    report.suppressed.append(f)
+                    break
+            else:
+                report.findings.append(f)
+        report.unused_suppressions = [
+            s for i, s in enumerate(self.suppressions) if i not in used
+        ]
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+
+def load_suppressions(pyproject: Path) -> list[Suppression]:
+    """Read ``[tool.repro.lint] suppressions`` from a pyproject file."""
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    specs = data.get("tool", {}).get("repro", {}).get("lint", {}).get(
+        "suppressions", []
+    )
+    return [Suppression.parse(s) for s in specs]
+
+
+def find_pyproject(start: Path) -> Optional[Path]:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    for candidate in [start, *start.parents]:
+        p = candidate / "pyproject.toml"
+        if p.is_file():
+            return p
+    return None
+
+
+def lint_package(
+    root: Optional[Path] = None,
+    pyproject: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    ignore_suppressions: bool = False,
+) -> LintReport:
+    """Lint the installed ``repro`` package with the project suppressions."""
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    if pyproject is None and not ignore_suppressions:
+        pyproject = find_pyproject(Path(root))
+    suppressions = (
+        []
+        if ignore_suppressions or pyproject is None
+        else load_suppressions(pyproject)
+    )
+    engine = LintEngine(rules=rules, suppressions=suppressions)
+    return engine.run(Path(root))
+
+
+__all__ = [
+    "LintEngine",
+    "LintReport",
+    "lint_package",
+    "load_suppressions",
+    "find_pyproject",
+]

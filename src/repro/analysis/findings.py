@@ -1,0 +1,86 @@
+"""Lint findings and suppression matching.
+
+A :class:`Finding` pinpoints one invariant violation; suppressions are
+strings of the form ``rule``, ``rule:path`` or ``rule:path:line``
+(paths are POSIX-style, relative to the source root, e.g.
+``repro/sim/rng.py``).  The curated project-wide list lives in
+``pyproject.toml`` under ``[tool.repro.lint]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # POSIX path relative to the lint root's parent
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed suppression pattern."""
+
+    rule: str
+    path: str = ""  # empty = any path
+    line: int = 0  # 0 = any line
+
+    @staticmethod
+    def parse(spec: str) -> "Suppression":
+        parts = spec.strip().split(":")
+        if not parts or not parts[0]:
+            raise ValueError(f"empty suppression spec {spec!r}")
+        rule = parts[0]
+        path = parts[1] if len(parts) > 1 else ""
+        line = 0
+        if len(parts) > 2:
+            try:
+                line = int(parts[2])
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad line number in suppression {spec!r}"
+                ) from exc
+        if len(parts) > 3:
+            raise ValueError(f"too many fields in suppression {spec!r}")
+        return Suppression(rule=rule, path=path, line=line)
+
+    def matches(self, finding: Finding) -> bool:
+        if self.rule != finding.rule:
+            return False
+        if self.path and self.path != finding.path:
+            return False
+        if self.line and self.line != finding.line:
+            return False
+        return True
+
+    def spec(self) -> str:
+        out = self.rule
+        if self.path:
+            out += f":{self.path}"
+        if self.line:
+            out += f":{self.line}"
+        return out
+
+
+__all__ = ["Finding", "Suppression"]

@@ -1,0 +1,34 @@
+"""Lint rules — one visitor per invariant (see docs/invariants.md)."""
+
+from .base import ImportMap, ModuleInfo, Rule, dotted_name
+from .determinism import DeterminismRule
+from .hygiene import AllExportsRule, FloatEqualityRule
+from .messages import FrozenMessageRule, MutableDefaultRule
+from .tee import TeeEncapsulationRule
+
+
+def default_rules() -> list[Rule]:
+    """The full rule set with default scoping, in reporting order."""
+    return [
+        DeterminismRule(),
+        TeeEncapsulationRule(),
+        FrozenMessageRule(),
+        MutableDefaultRule(),
+        FloatEqualityRule(),
+        AllExportsRule(),
+    ]
+
+
+__all__ = [
+    "Rule",
+    "ModuleInfo",
+    "ImportMap",
+    "dotted_name",
+    "DeterminismRule",
+    "TeeEncapsulationRule",
+    "FrozenMessageRule",
+    "MutableDefaultRule",
+    "FloatEqualityRule",
+    "AllExportsRule",
+    "default_rules",
+]

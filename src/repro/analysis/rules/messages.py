@@ -1,0 +1,118 @@
+"""Message-immutability rules.
+
+Wire messages are shared by reference between simulated replicas (the
+network never copies payloads), so a mutable message would let one
+replica's handler retroactively change what another replica already
+"received" — impossible on a real network and fatal to the safety
+argument.  Two rules keep that honest:
+
+* :class:`FrozenMessageRule` — every ``@dataclass`` defined in a
+  ``messages.py`` module must be declared ``frozen=True``;
+* :class:`MutableDefaultRule` — no mutable literal (``[]``, ``{}``,
+  ``set()``, ...) as a function-argument default or as a bare
+  dataclass field default, anywhere in the tree.  (Python shares one
+  instance across calls/instances; use ``None`` or
+  ``field(default_factory=...)``.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ModuleInfo, Rule, dotted_name
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | None:
+    """The ``dataclass`` decorator node of ``cls``, if any."""
+    for dec in cls.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = dotted_name(target)
+        if name.split(".")[-1] == "dataclass":
+            return dec
+    return None
+
+
+def _is_frozen(dec: ast.expr) -> bool:
+    if not isinstance(dec, ast.Call):
+        return False
+    for kw in dec.keywords:
+        if kw.arg == "frozen" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    return False
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name.split(".")[-1] in _MUTABLE_CALLS
+    return False
+
+
+class FrozenMessageRule(Rule):
+    """Every dataclass in a ``messages.py`` is frozen."""
+
+    name = "frozen-message"
+    description = "wire-message dataclasses must be frozen=True"
+    paper_ref = "Sec. IV (messages cannot be altered in flight)"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.path.rsplit("/", 1)[-1] != "messages.py":
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            dec = _dataclass_decorator(node)
+            if dec is not None and not _is_frozen(dec):
+                yield self.finding(
+                    module,
+                    node,
+                    f"message dataclass {node.name!r} is not frozen=True",
+                )
+
+
+class MutableDefaultRule(Rule):
+    """No shared mutable default values."""
+
+    name = "mutable-default"
+    description = "no mutable literals as argument or field defaults"
+    paper_ref = "hygiene (shared-instance aliasing)"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for default in [*args.defaults, *args.kw_defaults]:
+                    if default is not None and _is_mutable_literal(default):
+                        yield self.finding(
+                            module,
+                            default,
+                            f"mutable default argument in {node.name}() — "
+                            f"use None or a factory",
+                        )
+            elif isinstance(node, ast.ClassDef) and _dataclass_decorator(node):
+                for stmt in node.body:
+                    if (
+                        isinstance(stmt, ast.AnnAssign)
+                        and stmt.value is not None
+                        and _is_mutable_literal(stmt.value)
+                        and not (
+                            isinstance(stmt.value, ast.Call)
+                            and dotted_name(stmt.value.func).split(".")[-1]
+                            == "field"
+                        )
+                    ):
+                        yield self.finding(
+                            module,
+                            stmt.value,
+                            f"mutable field default in dataclass "
+                            f"{node.name!r} — use field(default_factory=...)",
+                        )
+
+
+__all__ = ["FrozenMessageRule", "MutableDefaultRule"]

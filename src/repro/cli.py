@@ -11,6 +11,7 @@ Examples::
     oneshot-repro ablations
     oneshot-repro parallel --k 1 2 4
     oneshot-repro timeline --protocol damysus --views 3 5
+    oneshot-repro lint --format json
 """
 
 from __future__ import annotations
@@ -47,7 +48,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=7)
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _cmd_run(args: argparse.Namespace) -> int:
     cfg = ExperimentConfig(
         protocol=args.protocol,
         f=args.f,
@@ -62,7 +63,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_fig7(args: argparse.Namespace) -> int:
+def _cmd_fig7(args: argparse.Namespace) -> int:
     res = run_fig7(
         args.deployment,
         f_values=tuple(args.f),
@@ -73,7 +74,7 @@ def cmd_fig7(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_gains(args: argparse.Namespace) -> int:
+def _cmd_gains(args: argparse.Namespace) -> int:
     res = run_fig7(
         args.deployment,
         f_values=tuple(args.f),
@@ -84,17 +85,17 @@ def cmd_gains(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_steps(args: argparse.Namespace) -> int:
+def _cmd_steps(args: argparse.Namespace) -> int:
     print(render_steps_table(steps_table(seed=args.seed)))
     return 0
 
 
-def cmd_degraded(args: argparse.Namespace) -> int:
+def _cmd_degraded(args: argparse.Namespace) -> int:
     print(render_degraded(run_degraded(target_blocks=args.blocks, seed=args.seed)))
     return 0
 
 
-def cmd_complexity(args: argparse.Namespace) -> int:
+def _cmd_complexity(args: argparse.Namespace) -> int:
     result = run_complexity(f_values=tuple(args.f), seed=args.seed)
     print(render_complexity(result))
     problems = check_linearity(result)
@@ -102,18 +103,18 @@ def cmd_complexity(args: argparse.Namespace) -> int:
     return 0 if not problems else 1
 
 
-def cmd_ablations(args: argparse.Namespace) -> int:
+def _cmd_ablations(args: argparse.Namespace) -> int:
     print(render_ablations(run_all_ablations(target_blocks=args.blocks)))
     return 0
 
 
-def cmd_parallel(args: argparse.Namespace) -> int:
+def _cmd_parallel(args: argparse.Namespace) -> int:
     scaling = run_parallel_scaling(ks=tuple(args.k), seed=args.seed)
     print(render_parallel(scaling))
     return 0
 
 
-def cmd_timeline(args: argparse.Namespace) -> int:
+def _cmd_timeline(args: argparse.Namespace) -> int:
     from .metrics import CLASSIFIERS, extract_waves, render_timeline
     from .net import Network
     from .protocols.common import ProtocolConfig, build_cluster
@@ -146,6 +147,38 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Static invariant gate (docs/invariants.md).
+
+    Exit code contract: 0 = clean (no findings outside the curated
+    suppression list in pyproject.toml), 1 = violations found,
+    2 = bad invocation (nonexistent --root / --pyproject).
+    """
+    from pathlib import Path
+
+    from .analysis import default_rules, lint_package
+
+    if args.rules:
+        for rule in default_rules():
+            print(f"{rule.name:20s} {rule.description}  [{rule.paper_ref}]")
+        return 0
+    if args.root and not Path(args.root).is_dir():
+        print(f"error: --root {args.root!r} is not a directory", file=sys.stderr)
+        return 2
+    if args.pyproject and not Path(args.pyproject).is_file():
+        print(
+            f"error: --pyproject {args.pyproject!r} does not exist", file=sys.stderr
+        )
+        return 2
+    report = lint_package(
+        root=Path(args.root) if args.root else None,
+        pyproject=Path(args.pyproject) if args.pyproject else None,
+        ignore_suppressions=args.no_suppressions,
+    )
+    print(report.to_json() if args.format == "json" else report.render_text())
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="oneshot-repro",
@@ -162,40 +195,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--f", type=int, default=1)
     p.add_argument("--payload", type=int, default=0, choices=[0, 256])
     _add_common(p)
-    p.set_defaults(func=cmd_run)
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("fig7", help="Fig. 7 panel for one deployment")
     p.add_argument("--f", type=int, nargs="+", default=list(PAPER_F_VALUES))
     _add_common(p)
-    p.set_defaults(func=cmd_fig7)
+    p.set_defaults(func=_cmd_fig7)
 
     p = sub.add_parser("gains", help="Sec. VIII gain tables")
     p.add_argument("--f", type=int, nargs="+", default=list(PAPER_F_VALUES))
     _add_common(p)
-    p.set_defaults(func=cmd_gains)
+    p.set_defaults(func=_cmd_gains)
 
     p = sub.add_parser("steps", help="Sec. V execution-type table")
     p.add_argument("--seed", type=int, default=11)
-    p.set_defaults(func=cmd_steps)
+    p.set_defaults(func=_cmd_steps)
 
     p = sub.add_parser("degraded", help="Sec. VIII-d degraded network")
     p.add_argument("--blocks", type=int, default=30)
     p.add_argument("--seed", type=int, default=17)
-    p.set_defaults(func=cmd_degraded)
+    p.set_defaults(func=_cmd_degraded)
 
     p = sub.add_parser("complexity", help="message complexity vs cluster size")
     p.add_argument("--f", type=int, nargs="+", default=[1, 2, 4, 10])
     p.add_argument("--seed", type=int, default=13)
-    p.set_defaults(func=cmd_complexity)
+    p.set_defaults(func=_cmd_complexity)
 
     p = sub.add_parser("ablations", help="Sec. VI-F optimization ablations")
     p.add_argument("--blocks", type=int, default=24)
-    p.set_defaults(func=cmd_ablations)
+    p.set_defaults(func=_cmd_ablations)
 
     p = sub.add_parser("parallel", help="multi-instance scaling")
     p.add_argument("--k", type=int, nargs="+", default=[1, 2, 4, 8])
     p.add_argument("--seed", type=int, default=9)
-    p.set_defaults(func=cmd_parallel)
+    p.set_defaults(func=_cmd_parallel)
 
     p = sub.add_parser("timeline", help="message-flow timeline of a run")
     p.add_argument(
@@ -212,7 +245,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--views", type=int, nargs=2, default=[2, 4], metavar=("FIRST", "LAST"))
     p.add_argument("--seed", type=int, default=7)
-    p.set_defaults(func=cmd_timeline)
+    p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser("lint", help="static invariant checks (docs/invariants.md)")
+    p.add_argument("--root", default=None, help="package dir to lint (default: repro)")
+    p.add_argument("--pyproject", default=None, help="pyproject.toml with suppressions")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument(
+        "--no-suppressions",
+        action="store_true",
+        help="ignore the curated suppression list",
+    )
+    p.add_argument("--rules", action="store_true", help="list rules and exit")
+    p.set_defaults(func=_cmd_lint)
 
     return parser
 
@@ -220,6 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     return args.func(args)
+
+
+__all__ = ["build_parser", "main"]
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -57,7 +57,7 @@ class KeyPair:
         tag = hmac.new(self._secret, data, hashlib.sha256).digest()
         return Signature(self.owner, tag)
 
-    def _verify(self, data: Digest, sig: Signature) -> bool:
+    def _check_tag(self, data: Digest, sig: Signature) -> bool:
         if sig.signer != self.owner:
             return False
         expect = hmac.new(self._secret, data, hashlib.sha256).digest()
@@ -85,7 +85,7 @@ class PublicKey:
         self._kp = kp
 
     def verify(self, data: Digest, sig: Signature) -> bool:
-        return self._kp._verify(data, sig)
+        return self._kp._check_tag(data, sig)
 
 
 class KeyRing:

@@ -58,7 +58,7 @@ class Network:
         self._procs: dict[int, Process] = {}
         self._nics: dict[int, Nic] = {}
         self._seq = itertools.count()
-        self._rng = sim.rng.stream("net")
+        self._rng = sim.rng.stream("net", purpose="link latency jitter")
         self.delay_hooks: list[DelayHook] = []
         self._link_clock: dict[tuple[int, int], float] = {}
         # accounting

@@ -249,9 +249,23 @@ class BaseReplica(Process):
                 ),
             )
 
+    def note_progress(self) -> None:
+        """Reset the timeout backoff on evidence of protocol progress.
+
+        When the reset actually shrinks the timeout (a recovery view
+        armed with an inflated backoff), the running view timer is
+        re-armed with the fresh value — otherwise the reset would only
+        take effect one view later and every recovery cycle would pay
+        the stale, doubled timeout.
+        """
+        inflated = self.pacemaker.consecutive_failures > 0
+        self.pacemaker.on_progress()
+        if inflated and not self.stopped:
+            self.view_timer.start(self.pacemaker.current_timeout())
+
     def record_decision_progress(self) -> None:
         """Common bookkeeping when a view decides."""
-        self.pacemaker.on_progress()
+        self.note_progress()
         self.collector.on_view_outcome(self.pid, self.view, "decide", self.sim.now)
 
 

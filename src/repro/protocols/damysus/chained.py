@@ -20,28 +20,18 @@ f+1 quorums on the chain).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
 
-from ...crypto import CryptoCostModel, Digest, KeyPair, KeyRing
+from ...crypto import Digest
 from ...metrics import NORMAL
-from ...smr import GENESIS, Block, create_leaf
-from ...tee import Enclave, TeeCostModel
+from ...smr import Block, create_leaf
 from ..common import BaseReplica, QuorumTracker
-from .certificates import (
-    PREPARE,
-    Commitment,
-    DamAccum,
-    DamCert,
-    DamProposal,
-    commitment_digest,
-    proposal_digest,
-    vote_digest,
-)
+from .certificates import PREPARE, DamAccum, DamCert, DamProposal
 from .messages import DamFetchReq, DamFetchResp, DamNewViewMsg, DamVoteMsg
-from .tee_services import DamysusAccumulator
-
-#: A chained proposal's justification.
-Justify = Union[DamCert, DamAccum]
+from .tee_services import (
+    ChainedDamysusChecker,
+    DamysusAccumulator,
+    Justify,
+)
 
 
 @dataclass(frozen=True)
@@ -58,83 +48,6 @@ class ChainedDamProposalMsg:
             + self.block.wire_size()
             + self.proposal.wire_size()
             + self.justify.wire_size()
-        )
-
-
-class ChainedDamysusChecker(Enclave):
-    """CHECKER for chained operation: one proposal and one vote per
-    view, with the prepared pair updated in-enclave from the verified
-    justify certificate."""
-
-    def __init__(
-        self,
-        owner: int,
-        keypair: KeyPair,
-        ring: KeyRing,
-        crypto_costs: CryptoCostModel,
-        tee_costs: TeeCostModel,
-        quorum: int,
-    ) -> None:
-        super().__init__(owner, keypair, ring, crypto_costs, tee_costs)
-        self.quorum = quorum
-        self.voted_view = -1
-        self.proposed_view = -1
-        self.prep_view = -1
-        self.prep_hash: Digest = GENESIS.hash
-
-    def tee_propose(self, h: Digest, view: int) -> Optional[DamProposal]:
-        """Sign a proposal; monotonic, once per view."""
-        self._enter()
-        if view <= self.proposed_view:
-            return None
-        self.proposed_view = view
-        return DamProposal(
-            block_hash=h, view=view, sig=self._sign(proposal_digest(h, view))
-        )
-
-    def tee_vote_chained(self, h: Digest, view: int, justify: Justify):
-        """Verify the justify in-enclave, record the prepared pair, and
-        sign the once-per-view prepare vote."""
-        from .certificates import DamVote
-
-        self._enter()
-        if view <= self.voted_view:
-            return None
-        if isinstance(justify, DamCert):
-            self._charge(
-                self._crypto.verify(len(justify.sigs)) * self._tee.crypto_factor
-            )
-            if justify.phase != PREPARE or not justify.verify(self._ring, self.quorum):
-                return None
-            if justify.view >= self.prep_view:
-                self.prep_view = justify.view
-                self.prep_hash = justify.block_hash
-        elif isinstance(justify, DamAccum):
-            self._charge(self._crypto.verify() * self._tee.crypto_factor)
-            if not justify.verify(self._ring):
-                return None
-        else:
-            return None
-        self.voted_view = view
-        return DamVote(
-            block_hash=h,
-            view=view,
-            phase=PREPARE,
-            sig=self._sign(vote_digest(h, view, PREPARE)),
-        )
-
-    def new_view(self, view: int) -> Optional[Commitment]:
-        """Timeout commitment: the latest prepared pair, tagged ``view``."""
-        self._enter()
-        if view <= self.voted_view and view <= self.proposed_view:
-            pass  # commitments may be re-issued for higher views only
-        return Commitment(
-            prep_view=self.prep_view,
-            prep_hash=self.prep_hash,
-            view=view,
-            sig=self._sign(
-                commitment_digest(self.prep_view, self.prep_hash, view)
-            ),
         )
 
 
@@ -303,7 +216,7 @@ class ChainedDamysusReplica(BaseReplica):
         self.add_block(msg.block)
         # A valid proposal is pipeline progress: reset the backoff even
         # when the k-chain commit still lags (e.g. around failed views).
-        self.pacemaker.on_progress()
+        self.note_progress()
         if isinstance(justify, DamCert):
             self._register_cert(justify)
         vote = self.checker.tee_vote_chained(msg.block.hash, v, justify)

@@ -13,7 +13,7 @@ non-equivocation guarantee.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from ...crypto import CryptoCostModel, Digest, KeyPair, KeyRing
 from ...smr import GENESIS
@@ -31,6 +31,10 @@ from .certificates import (
     proposal_digest,
     vote_digest,
 )
+
+#: A chained proposal's justification: prepare certificate (steady
+#: state) or ACCUMULATOR certificate (after a timeout).
+Justify = Union[DamCert, DamAccum]
 
 # Per-view step counter values (strictly increasing within a view).
 _STEP_NV = 0
@@ -163,4 +167,84 @@ class DamysusAccumulator(Enclave):
         )
 
 
-__all__ = ["DamysusChecker", "DamysusAccumulator"]
+class ChainedDamysusChecker(Enclave):
+    """CHECKER for chained operation: one proposal and one vote per
+    view, with the prepared pair updated in-enclave from the verified
+    justify certificate."""
+
+    def __init__(
+        self,
+        owner: int,
+        keypair: KeyPair,
+        ring: KeyRing,
+        crypto_costs: CryptoCostModel,
+        tee_costs: TeeCostModel,
+        quorum: int,
+    ) -> None:
+        super().__init__(owner, keypair, ring, crypto_costs, tee_costs)
+        self.quorum = quorum
+        self.voted_view = -1
+        self.proposed_view = -1
+        self.prep_view = -1
+        self.prep_hash: Digest = GENESIS.hash
+
+    def tee_propose(self, h: Digest, view: int) -> Optional[DamProposal]:
+        """Sign a proposal; monotonic, once per view."""
+        self._enter()
+        if view <= self.proposed_view:
+            return None
+        self.proposed_view = view
+        return DamProposal(
+            block_hash=h, view=view, sig=self._sign(proposal_digest(h, view))
+        )
+
+    def tee_vote_chained(
+        self, h: Digest, view: int, justify: Justify
+    ) -> Optional[DamVote]:
+        """Verify the justify in-enclave, record the prepared pair, and
+        sign the once-per-view prepare vote."""
+        self._enter()
+        if view <= self.voted_view:
+            return None
+        if isinstance(justify, DamCert):
+            self._charge(
+                self._crypto.verify(len(justify.sigs)) * self._tee.crypto_factor
+            )
+            if justify.phase != PREPARE or not justify.verify(self._ring, self.quorum):
+                return None
+            if justify.view >= self.prep_view:
+                self.prep_view = justify.view
+                self.prep_hash = justify.block_hash
+        elif isinstance(justify, DamAccum):
+            self._charge(self._crypto.verify() * self._tee.crypto_factor)
+            if not justify.verify(self._ring):
+                return None
+        else:
+            return None
+        self.voted_view = view
+        return DamVote(
+            block_hash=h,
+            view=view,
+            phase=PREPARE,
+            sig=self._sign(vote_digest(h, view, PREPARE)),
+        )
+
+    def new_view(self, view: int) -> Optional[Commitment]:
+        """Timeout commitment: the latest prepared pair, tagged ``view``."""
+        self._enter()
+        return Commitment(
+            prep_view=self.prep_view,
+            prep_hash=self.prep_hash,
+            view=view,
+            sig=self._sign(
+                commitment_digest(self.prep_view, self.prep_hash, view)
+            ),
+        )
+
+
+__all__ = [
+    "DamysusChecker",
+    "DamysusAccumulator",
+    "ChainedDamysusChecker",
+    "Justify",
+]

@@ -154,7 +154,7 @@ class ChainedHotStuffReplica(BaseReplica):
         self.add_block(msg.block)
         # A valid proposal is pipeline progress: reset the backoff even
         # when the 3-chain commit still lags (e.g. around failed views).
-        self.pacemaker.on_progress()
+        self.note_progress()
         self._register_qc(msg.justify)
         self._chain_update(msg.justify)
         # Vote to the next view's leader (pipelining).

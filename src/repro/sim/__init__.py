@@ -10,7 +10,7 @@ cores and NICs (:mod:`repro.sim.cpu`), and named RNG streams
 from .cpu import Cpu, Nic, Resource
 from .event import Event, EventQueue
 from .process import Process, Timer
-from .rng import RngRegistry
+from .rng import RngRegistry, RngStreamConflict
 from .simulator import SimulationError, Simulator
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "Process",
     "Timer",
     "RngRegistry",
+    "RngStreamConflict",
     "SimulationError",
     "Simulator",
 ]

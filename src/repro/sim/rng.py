@@ -5,13 +5,28 @@ arrivals, fault schedules, ...) draws from its own named stream derived
 from a single root seed.  Adding a new consumer of randomness therefore
 never perturbs the draws seen by existing consumers, which keeps
 regression traces stable across code changes.
+
+Two safeguards keep stream names honest as the consumer set grows:
+
+* every stream may declare a *purpose* (a short free-form tag); asking
+  for an existing stream under a different purpose raises
+  :class:`RngStreamConflict` instead of silently sharing draws between
+  two unrelated consumers;
+* :meth:`RngRegistry.spawn` builds *hierarchical* sub-registries
+  (``root.spawn("instance-3")``) whose streams are independent of the
+  parent's and of every sibling's, for multi-instance experiments.
 """
 
 from __future__ import annotations
 
 import hashlib
+from typing import Optional
 
 import numpy as np
+
+
+class RngStreamConflict(RuntimeError):
+    """A stream name was re-derived with a different declared purpose."""
 
 
 class RngRegistry:
@@ -22,9 +37,14 @@ class RngRegistry:
     reproducible.
     """
 
-    def __init__(self, root_seed: int = 0) -> None:
+    def __init__(self, root_seed: int = 0, namespace: str = "") -> None:
         self.root_seed = int(root_seed)
+        #: Hierarchical path of this registry ("" for the root; e.g.
+        #: "instance-3/net" two spawns down).  Purely informational —
+        #: independence comes from the derived root seeds.
+        self.namespace = namespace
         self._streams: dict[str, np.random.Generator] = {}
+        self._purposes: dict[str, Optional[str]] = {}
 
     def derive_seed(self, name: str) -> int:
         """Derive a 64-bit stream seed from the root seed and a name."""
@@ -33,17 +53,59 @@ class RngRegistry:
         ).digest()
         return int.from_bytes(digest[:8], "little")
 
-    def stream(self, name: str) -> np.random.Generator:
-        """Return the (cached) generator for ``name``."""
+    def stream(
+        self, name: str, purpose: Optional[str] = None
+    ) -> np.random.Generator:
+        """Return the (cached) generator for ``name``.
+
+        ``purpose`` optionally documents what the stream feeds; once a
+        stream has been derived under one purpose, deriving it again
+        under a *different* purpose raises :class:`RngStreamConflict`
+        — two unrelated consumers silently sharing a stream is exactly
+        the kind of coupling that breaks trace stability.
+        """
+        if name in self._purposes:
+            known = self._purposes[name]
+            if purpose is not None and known is not None and purpose != known:
+                raise RngStreamConflict(
+                    f"stream {name!r} already derived for purpose "
+                    f"{known!r}; refusing to reuse it for {purpose!r}"
+                )
+            if purpose is not None and known is None:
+                self._purposes[name] = purpose
+        else:
+            self._purposes[name] = purpose
         gen = self._streams.get(name)
         if gen is None:
             gen = np.random.default_rng(self.derive_seed(name))
             self._streams[name] = gen
         return gen
 
+    def purpose_of(self, name: str) -> Optional[str]:
+        """The declared purpose of a consumed stream (None if untagged)."""
+        return self._purposes.get(name)
+
+    def consumed(self) -> tuple[str, ...]:
+        """Names of every stream derived so far, in sorted order."""
+        return tuple(sorted(self._streams))
+
+    def spawn(self, namespace: str) -> "RngRegistry":
+        """A child registry for ``namespace``, independent of this one.
+
+        Children are keyed like streams (``sha256(root || tag)``), so
+        ``spawn("a")`` is stable across runs, ``spawn("a")`` and
+        ``spawn("b")`` are independent, and nesting composes:
+        ``reg.spawn("a").spawn("b")`` has its own seed universe.
+        """
+        child = RngRegistry(
+            self.derive_seed(f"spawn:{namespace}"),
+            namespace=f"{self.namespace}/{namespace}" if self.namespace else namespace,
+        )
+        return child
+
     def fork(self, salt: str) -> "RngRegistry":
         """A registry whose streams are independent of this one's."""
         return RngRegistry(self.derive_seed(f"fork:{salt}"))
 
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "RngStreamConflict"]

@@ -150,7 +150,9 @@ class PoissonClient(Client):
             raise ValueError("rate must be positive")
         self.rate_tps = rate_tps
         self.op_factory = op_factory
-        self._rng = self.sim.rng.stream(f"client{self.pid}.arrivals")
+        self._rng = self.sim.rng.stream(
+            f"client{self.pid}.arrivals", purpose="client tx arrivals"
+        )
         self._running = False
 
     def start(self) -> None:

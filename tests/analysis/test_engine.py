@@ -1,0 +1,168 @@
+"""Engine plumbing: suppressions, tree walks, reports, CLI contract."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintEngine,
+    Suppression,
+    lint_package,
+    load_suppressions,
+)
+from repro.cli import main as cli_main
+
+CLEAN = 'def ok():\n    return 1\n\n__all__ = ["ok"]\n'
+DIRTY = 'import time\n\ndef bad():\n    return time.time()\n\n__all__ = ["bad"]\n'
+
+
+def make_tree(tmp_path, files: dict):
+    """Lay out ``{relpath: source}`` under ``tmp_path/repro``."""
+    root = tmp_path / "repro"
+    for rel, source in files.items():
+        p = root / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(source)
+    return root
+
+
+# -- Suppression parsing ----------------------------------------------
+def test_suppression_parse_roundtrip():
+    for spec in ("determinism", "determinism:repro/a.py", "determinism:repro/a.py:4"):
+        assert Suppression.parse(spec).spec() == spec
+
+
+def test_suppression_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        Suppression.parse("")
+    with pytest.raises(ValueError):
+        Suppression.parse("rule:path:notaline")
+    with pytest.raises(ValueError):
+        Suppression.parse("rule:path:3:extra")
+
+
+def test_suppression_matching_scopes():
+    f = Finding(rule="determinism", path="repro/a.py", line=4, col=0, message="m")
+    assert Suppression.parse("determinism").matches(f)
+    assert Suppression.parse("determinism:repro/a.py").matches(f)
+    assert Suppression.parse("determinism:repro/a.py:4").matches(f)
+    assert not Suppression.parse("tee-encapsulation").matches(f)
+    assert not Suppression.parse("determinism:repro/b.py").matches(f)
+    assert not Suppression.parse("determinism:repro/a.py:5").matches(f)
+
+
+# -- Tree walk + report ------------------------------------------------
+def test_run_reports_findings_with_relative_paths(tmp_path):
+    root = make_tree(tmp_path, {"good.py": CLEAN, "sub/bad.py": DIRTY})
+    report = LintEngine().run(root)
+    assert report.modules_checked == 2
+    assert not report.clean
+    assert [f.path for f in report.findings] == ["repro/sub/bad.py"]
+    assert "time.time" in report.findings[0].message
+
+
+def test_suppressed_findings_do_not_fail_the_run(tmp_path):
+    root = make_tree(tmp_path, {"bad.py": DIRTY})
+    engine = LintEngine(
+        suppressions=[Suppression.parse("determinism:repro/bad.py")]
+    )
+    report = engine.run(root)
+    assert report.clean
+    assert len(report.suppressed) == 1
+    assert report.unused_suppressions == []
+
+
+def test_unused_suppressions_are_reported(tmp_path):
+    root = make_tree(tmp_path, {"good.py": CLEAN})
+    stale = Suppression.parse("determinism:repro/gone.py")
+    report = LintEngine(suppressions=[stale]).run(root)
+    assert report.clean  # unused suppressions warn, they don't fail
+    assert report.unused_suppressions == [stale]
+    assert "unused suppression" in report.render_text()
+
+
+def test_parse_errors_fail_the_run(tmp_path):
+    root = make_tree(tmp_path, {"broken.py": "def f(:\n"})
+    report = LintEngine().run(root)
+    assert not report.clean
+    assert report.parse_errors and "repro/broken.py" in report.parse_errors[0]
+
+
+def test_report_render_and_json(tmp_path):
+    root = make_tree(tmp_path, {"bad.py": DIRTY})
+    report = LintEngine().run(root)
+    text = report.render_text()
+    assert "repro/bad.py:4" in text
+    assert "[determinism]" in text
+    data = json.loads(report.to_json())
+    assert data["clean"] is False
+    assert data["findings"][0]["rule"] == "determinism"
+    assert data["findings"][0]["path"] == "repro/bad.py"
+
+
+# -- pyproject suppression loading ------------------------------------
+def test_load_suppressions_from_pyproject(tmp_path):
+    py = tmp_path / "pyproject.toml"
+    py.write_text(
+        "[tool.repro.lint]\n"
+        'suppressions = ["determinism:repro/bad.py"]\n'
+    )
+    subs = load_suppressions(py)
+    assert subs == [Suppression.parse("determinism:repro/bad.py")]
+
+
+def test_lint_package_honours_pyproject(tmp_path):
+    root = make_tree(tmp_path, {"bad.py": DIRTY})
+    py = tmp_path / "pyproject.toml"
+    py.write_text(
+        '[tool.repro.lint]\nsuppressions = ["determinism:repro/bad.py"]\n'
+    )
+    assert lint_package(root=root, pyproject=py).clean
+    # --no-suppressions equivalent: the violation resurfaces.
+    assert not lint_package(root=root, ignore_suppressions=True).clean
+
+
+# -- CLI exit-code / JSON contract ------------------------------------
+def test_cli_lint_json_contract(tmp_path, capsys):
+    dirty_root = make_tree(tmp_path, {"bad.py": DIRTY})
+    rc = cli_main(["lint", "--root", str(dirty_root), "--format", "json"])
+    data = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert data["clean"] is False
+    assert data["findings"][0]["rule"] == "determinism"
+
+    clean_root = make_tree(tmp_path / "ok", {"good.py": CLEAN})
+    rc = cli_main(["lint", "--root", str(clean_root), "--format", "json"])
+    data = json.loads(capsys.readouterr().out)
+    assert rc == 0
+    assert data["clean"] is True and data["findings"] == []
+
+
+def test_cli_lint_respects_suppressions_flag(tmp_path, capsys):
+    root = make_tree(tmp_path, {"bad.py": DIRTY})
+    py = tmp_path / "pyproject.toml"
+    py.write_text(
+        '[tool.repro.lint]\nsuppressions = ["determinism:repro/bad.py"]\n'
+    )
+    assert cli_main(["lint", "--root", str(root), "--pyproject", str(py)]) == 0
+    capsys.readouterr()
+    rc = cli_main(
+        ["lint", "--root", str(root), "--pyproject", str(py), "--no-suppressions"]
+    )
+    assert rc == 1
+    capsys.readouterr()
+
+
+def test_cli_lint_rules_listing(capsys):
+    assert cli_main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "determinism",
+        "tee-encapsulation",
+        "frozen-message",
+        "mutable-default",
+        "float-equality",
+        "all-exports",
+    ):
+        assert name in out

@@ -1,0 +1,30 @@
+"""CI gate: the real source tree satisfies every invariant rule.
+
+``python -m pytest tests/analysis -x -q`` doubles as the lint gate;
+``oneshot-repro lint`` is the interactive equivalent with the same
+exit-code contract (0 clean, 1 violations).
+"""
+
+import pytest
+
+from repro.analysis import lint_package
+
+pytestmark = pytest.mark.lint
+
+
+def test_source_tree_is_lint_clean():
+    report = lint_package()
+    assert report.parse_errors == []
+    assert report.findings == [], "\n" + report.render_text()
+
+
+def test_suppression_list_has_no_dead_entries():
+    report = lint_package()
+    assert report.unused_suppressions == [], [
+        s.spec() for s in report.unused_suppressions
+    ]
+
+
+def test_every_default_rule_ran_over_a_nontrivial_tree():
+    report = lint_package()
+    assert report.modules_checked > 50

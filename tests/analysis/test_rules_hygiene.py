@@ -1,0 +1,101 @@
+"""Hygiene rules: float-literal equality and ``__all__`` discipline."""
+
+from repro.analysis import LintEngine
+from repro.analysis.rules import AllExportsRule, FloatEqualityRule
+
+
+def lint_float(source: str, path: str = "repro/core/replica.py"):
+    return LintEngine(rules=[FloatEqualityRule()]).check_source(source, path=path)
+
+
+def lint_all(source: str, path: str = "repro/util.py"):
+    return LintEngine(rules=[AllExportsRule()]).check_source(source, path=path)
+
+
+# -- float equality: positives ----------------------------------------
+def test_flags_float_literal_equality():
+    findings = lint_float("def f(t):\n    return t == 0.5\n")
+    assert len(findings) == 1
+    assert "0.5" in findings[0].message
+
+
+def test_flags_float_literal_inequality():
+    assert lint_float("def f(t):\n    return t != 1.0\n")
+
+
+def test_flags_literal_on_the_left():
+    assert lint_float("def f(t):\n    return 0.0 == t\n")
+
+
+def test_flags_in_all_protocol_subtrees():
+    src = "def f(t):\n    return t == 2.5\n"
+    for path in (
+        "repro/core/replica.py",
+        "repro/protocols/oneshot/replica.py",
+        "repro/smr/client.py",
+        "repro/tee/enclave.py",
+    ):
+        assert lint_float(src, path=path), path
+
+
+# -- float equality: negatives ----------------------------------------
+def test_integer_equality_is_fine():
+    assert lint_float("def f(v):\n    return v == 0\n") == []
+
+
+def test_float_ordering_is_fine():
+    assert lint_float("def f(t):\n    return t <= 0.5 or t > 1.0\n") == []
+
+
+def test_float_equality_outside_protocol_logic_is_fine():
+    src = "def f(t):\n    return t == 0.5\n"
+    assert lint_float(src, path="repro/metrics/stats.py") == []
+
+
+# -- __all__: positives ------------------------------------------------
+def test_flags_missing_all():
+    findings = lint_all("def helper():\n    return 1\n")
+    assert len(findings) == 1
+    assert "no __all__" in findings[0].message
+
+
+def test_flags_unresolvable_export():
+    findings = lint_all('__all__ = ["ghost"]\n')
+    assert any("ghost" in f.message for f in findings)
+
+
+def test_flags_public_def_missing_from_all():
+    findings = lint_all(
+        "def shown():\n    return 1\n\n"
+        "def hidden():\n    return 2\n\n"
+        '__all__ = ["shown"]\n'
+    )
+    assert len(findings) == 1
+    assert "hidden" in findings[0].message
+
+
+def test_flags_computed_all():
+    findings = lint_all("__all__ = sorted(globals())\n")
+    assert any("literal list" in f.message for f in findings)
+
+
+# -- __all__: negatives ------------------------------------------------
+def test_exhaustive_all_is_fine():
+    src = (
+        "CONST = 3\n\n"
+        "def public():\n    return CONST\n\n"
+        "def _private():\n    return 0\n\n"
+        "class Thing:\n    pass\n\n"
+        '__all__ = ["public", "Thing", "CONST"]\n'
+    )
+    assert lint_all(src) == []
+
+
+def test_reexport_of_import_is_fine():
+    src = "from os.path import join\n\n" '__all__ = ["join"]\n'
+    assert lint_all(src) == []
+
+
+def test_constants_need_not_be_exported():
+    src = "LIMIT = 5\n\n__all__ = []\n"
+    assert lint_all(src) == []

@@ -1,0 +1,117 @@
+"""Frozen-message and mutable-default rules."""
+
+from repro.analysis import LintEngine
+from repro.analysis.rules import FrozenMessageRule, MutableDefaultRule
+
+
+def lint_frozen(source: str, path: str = "repro/core/messages.py"):
+    return LintEngine(rules=[FrozenMessageRule()]).check_source(source, path=path)
+
+
+def lint_defaults(source: str, path: str = "repro/core/replica.py"):
+    return LintEngine(rules=[MutableDefaultRule()]).check_source(source, path=path)
+
+
+# -- frozen messages: positives ---------------------------------------
+def test_flags_unfrozen_message_dataclass():
+    findings = lint_frozen(
+        "from dataclasses import dataclass\n\n"
+        "@dataclass\n"
+        "class VoteMsg:\n"
+        "    view: int\n"
+    )
+    assert len(findings) == 1
+    assert "VoteMsg" in findings[0].message
+
+
+def test_flags_frozen_false():
+    assert lint_frozen(
+        "from dataclasses import dataclass\n\n"
+        "@dataclass(frozen=False)\n"
+        "class VoteMsg:\n"
+        "    view: int\n"
+    )
+
+
+def test_flags_dataclass_with_other_kwargs_only():
+    assert lint_frozen(
+        "from dataclasses import dataclass\n\n"
+        "@dataclass(slots=True)\n"
+        "class VoteMsg:\n"
+        "    view: int\n"
+    )
+
+
+# -- frozen messages: negatives ---------------------------------------
+def test_frozen_message_is_fine():
+    assert (
+        lint_frozen(
+            "from dataclasses import dataclass\n\n"
+            "@dataclass(frozen=True)\n"
+            "class VoteMsg:\n"
+            "    view: int\n"
+        )
+        == []
+    )
+
+
+def test_plain_class_in_messages_is_fine():
+    assert lint_frozen("class Helper:\n    pass\n") == []
+
+
+def test_unfrozen_dataclass_outside_messages_py_is_fine():
+    src = (
+        "from dataclasses import dataclass\n\n"
+        "@dataclass\n"
+        "class Wave:\n"
+        "    count: int = 0\n"
+    )
+    assert lint_frozen(src, path="repro/metrics/timeline.py") == []
+
+
+# -- mutable defaults: positives --------------------------------------
+def test_flags_mutable_list_default_arg():
+    findings = lint_defaults("def f(xs=[]):\n    return xs\n")
+    assert len(findings) == 1
+    assert "mutable default" in findings[0].message
+
+
+def test_flags_mutable_dict_and_set_defaults():
+    assert lint_defaults("def f(m={}):\n    return m\n")
+    assert lint_defaults("def f(s=set()):\n    return s\n")
+
+
+def test_flags_kwonly_mutable_default():
+    assert lint_defaults("def f(*, xs=[]):\n    return xs\n")
+
+
+def test_flags_bare_mutable_dataclass_field():
+    findings = lint_defaults(
+        "from dataclasses import dataclass\n\n"
+        "@dataclass\n"
+        "class C:\n"
+        "    xs: list = []\n"
+    )
+    assert len(findings) == 1
+    assert "field(default_factory" in findings[0].message
+
+
+# -- mutable defaults: negatives --------------------------------------
+def test_none_default_is_fine():
+    assert lint_defaults("def f(xs=None):\n    return xs or []\n") == []
+
+
+def test_tuple_default_is_fine():
+    assert lint_defaults("def f(xs=()):\n    return xs\n") == []
+
+
+def test_default_factory_field_is_fine():
+    assert (
+        lint_defaults(
+            "from dataclasses import dataclass, field\n\n"
+            "@dataclass\n"
+            "class C:\n"
+            "    xs: list = field(default_factory=list)\n"
+        )
+        == []
+    )

@@ -1,0 +1,147 @@
+"""Property tests: TEE cost accounting is exact.
+
+``Enclave.drain_cost()`` must return precisely
+``ecalls * ecall_overhead + Σ (crypto cost × crypto_factor)`` for any
+interleaving of ecalls — the paper's performance model (Sec. VII)
+hinges on the simulated SGX tax being an exact ledger, not an
+estimate.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import CryptoCostModel, KeyPair, KeyRing, digest_of
+from repro.tee import Enclave, TeeCostModel
+
+
+class ProbeEnclave(Enclave):
+    """Minimal trusted service exposing one entry point per crypto op."""
+
+    def ecall_noop(self):
+        self._enter()
+
+    def ecall_sign(self, i: int):
+        self._enter()
+        return self._sign(digest_of("probe", i))
+
+    def ecall_verify(self, i: int):
+        self._enter()
+        d = digest_of("probe", i)
+        return self._verify(d, self._key.sign(d))
+
+    def ecall_verify_many(self, i: int, k: int):
+        self._enter()
+        d = digest_of("probe", i)
+        sigs = tuple(self._key.sign(d) for _ in range(k))
+        return self._verify_many(d, sigs)
+
+
+def build_enclave(crypto: CryptoCostModel, tee: TeeCostModel) -> ProbeEnclave:
+    kp = KeyPair.generate(0)
+    ring = KeyRing()
+    ring.add(kp.public())
+    return ProbeEnclave(0, kp, ring, crypto, tee)
+
+
+#: One random ecall: ("noop"|"sign"|"verify"|("verify_many", k))
+ops = st.one_of(
+    st.just("noop"),
+    st.just("sign"),
+    st.just("verify"),
+    st.tuples(st.just("verify_many"), st.integers(1, 5)),
+)
+
+
+def run_sequence(enclave: ProbeEnclave, sequence) -> tuple[int, float]:
+    """Drive the ecall sequence; return (ecalls, expected crypto cost)."""
+    crypto, factor = enclave._crypto, enclave._tee.crypto_factor
+    expected_crypto = 0.0
+    for i, op in enumerate(sequence):
+        if op == "noop":
+            enclave.ecall_noop()
+        elif op == "sign":
+            enclave.ecall_sign(i)
+            expected_crypto += crypto.sign() * factor
+        elif op == "verify":
+            assert enclave.ecall_verify(i)
+            expected_crypto += crypto.verify() * factor
+        else:
+            _, k = op
+            assert enclave.ecall_verify_many(i, k)
+            expected_crypto += crypto.verify(k) * factor
+    return len(sequence), expected_crypto
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(ops, max_size=40),
+    st.floats(0.0, 1e-3),
+    st.floats(1.0, 4.0),
+)
+def test_drain_cost_is_an_exact_ledger(sequence, ecall_overhead, crypto_factor):
+    tee = TeeCostModel(ecall_overhead=ecall_overhead, crypto_factor=crypto_factor)
+    enclave = build_enclave(CryptoCostModel(), tee)
+    n_ecalls, expected_crypto = run_sequence(enclave, sequence)
+    assert enclave.ecalls == n_ecalls
+    drained = enclave.drain_cost()
+    assert math.isclose(
+        drained,
+        n_ecalls * tee.ecall_overhead + expected_crypto,
+        rel_tol=1e-12,
+        abs_tol=1e-15,
+    )
+    # Draining resets the ledger but not the ecall counter.
+    assert enclave.drain_cost() == 0.0
+    assert enclave.ecalls == n_ecalls
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(ops, max_size=30))
+def test_free_tee_with_free_crypto_accrues_zero(sequence):
+    from repro.crypto.costs import FREE
+
+    enclave = build_enclave(FREE, TeeCostModel.free())
+    run_sequence(enclave, sequence)
+    assert enclave.drain_cost() == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(ops, max_size=30))
+def test_free_tee_charges_only_unscaled_crypto(sequence):
+    """TeeCostModel.free() removes the SGX tax: no world-switch cost,
+    crypto at factor 1.0 — the accrual equals the plain crypto cost."""
+    crypto = CryptoCostModel()
+    enclave = build_enclave(crypto, TeeCostModel.free())
+    _, expected_crypto = run_sequence(enclave, sequence)
+    assert math.isclose(
+        enclave.drain_cost(), expected_crypto, rel_tol=1e-12, abs_tol=1e-15
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(ops, min_size=1, max_size=20), st.integers(1, 5))
+def test_interleaved_drains_sum_to_one_big_drain(sequence, n_chunks):
+    """Draining mid-sequence never loses or double-counts cost."""
+    tee = TeeCostModel()
+    a = build_enclave(CryptoCostModel(), tee)
+    b = build_enclave(CryptoCostModel(), tee)
+    run_sequence(a, sequence)
+    total_once = a.drain_cost()
+
+    chunk = max(1, len(sequence) // n_chunks)
+    total_chunked = 0.0
+    for start in range(0, len(sequence), chunk):
+        # Indices must match run_sequence's enumerate for digests.
+        for i, op in enumerate(sequence[start : start + chunk], start=start):
+            if op == "noop":
+                b.ecall_noop()
+            elif op == "sign":
+                b.ecall_sign(i)
+            elif op == "verify":
+                b.ecall_verify(i)
+            else:
+                b.ecall_verify_many(i, op[1])
+        total_chunked += b.drain_cost()
+    assert math.isclose(total_chunked, total_once, rel_tol=1e-12, abs_tol=1e-15)

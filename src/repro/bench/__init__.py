@@ -1,0 +1,34 @@
+"""Benchmark regression harness (``oneshot-repro bench``).
+
+Times the simulation kernel's hot paths (:mod:`repro.bench.kernel`) and
+one end-to-end consensus run (:mod:`repro.bench.e2e`), compares the
+rates against the recorded baselines (``BENCH_kernel.json`` /
+``BENCH_e2e.json``) and fails on regressions beyond a tolerance — see
+:mod:`repro.bench.harness` for the report model and exit contract.
+"""
+
+from .e2e import run_e2e_bench
+from .harness import (
+    DEFAULT_TOLERANCE,
+    BenchMetric,
+    BenchReport,
+    MetricDelta,
+    annotate_speedups,
+    compare,
+    regressions,
+    render_report,
+)
+from .kernel import run_kernel_bench
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "BenchMetric",
+    "BenchReport",
+    "MetricDelta",
+    "annotate_speedups",
+    "compare",
+    "regressions",
+    "render_report",
+    "run_e2e_bench",
+    "run_kernel_bench",
+]

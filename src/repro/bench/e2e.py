@@ -1,0 +1,59 @@
+"""End-to-end consensus benchmark: one full OneShot run, timed.
+
+The microbenches in :mod:`repro.bench.kernel` isolate hot paths; this
+bench answers the question that actually matters for experiment
+turnaround — how fast does a complete protocol run (replicas, network,
+crypto, metrics) execute in *wall* time?  Simulated-time results are
+deterministic; only the wall-clock rates measured here vary.
+
+Wall-clock reads are the measurement, so the determinism lint rule is
+suppressed for this module in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.runner import run_experiment
+from .harness import BenchMetric, BenchReport
+
+
+def run_e2e_bench(quick: bool = False, seed: int = 7) -> BenchReport:
+    """Time one saturated OneShot run (f=1, constant 2 ms links).
+
+    Reported rates are wall-clock (events and committed transactions
+    per real second) plus the run's wall duration itself.
+    """
+    config = ExperimentConfig(
+        protocol="oneshot",
+        f=1,
+        payload_bytes=0,
+        deployment="local",
+        local_latency_s=0.002,
+        target_blocks=12 if quick else 50,
+        timeout_base=0.5,
+        seed=seed,
+    )
+    start = time.perf_counter()
+    result = run_experiment(config)
+    elapsed = time.perf_counter() - start
+
+    report = BenchReport(name="e2e")
+    report.add(
+        BenchMetric(
+            "events_per_sec", result.sim.events_executed / elapsed, "events/s"
+        )
+    )
+    report.add(
+        BenchMetric(
+            "tx_per_wall_sec", result.stats.txs_decided / elapsed, "tx/s"
+        )
+    )
+    report.add(
+        BenchMetric("wall_seconds", elapsed, "s", higher_is_better=False)
+    )
+    return report
+
+
+__all__ = ["run_e2e_bench"]

@@ -1,0 +1,175 @@
+"""Benchmark report model and regression comparison.
+
+A bench run produces a :class:`BenchReport` — a named set of
+:class:`BenchMetric` values — serialized to JSON with sorted keys so
+reports diff cleanly.  :func:`compare` checks a fresh report against a
+recorded baseline: every metric's *speedup* (>1 = faster than the
+baseline, regardless of the metric's direction) must stay above
+``1 - tolerance``, otherwise the metric counts as a regression and the
+``oneshot-repro bench`` CLI exits nonzero without overwriting the
+baseline file.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+#: Default allowed slowdown before a metric counts as a regression.
+#: Wall-clock benches on shared CI machines are noisy; 25 % headroom
+#: catches real (algorithmic) regressions without flaking on jitter.
+DEFAULT_TOLERANCE = 0.25
+
+
+@dataclass(frozen=True)
+class BenchMetric:
+    """One measured quantity.
+
+    ``higher_is_better`` controls the regression direction: True for
+    rates (events/s, tx/s), False for durations (wall seconds).
+    """
+
+    name: str
+    value: float
+    unit: str
+    higher_is_better: bool = True
+
+
+@dataclass
+class BenchReport:
+    """A named collection of metrics, with optional baseline speedups."""
+
+    name: str
+    metrics: dict[str, BenchMetric] = field(default_factory=dict)
+    #: metric name -> speedup vs the baseline report (filled by
+    #: :func:`annotate_speedups`; absent on a first run).
+    speedup_vs_baseline: dict[str, float] = field(default_factory=dict)
+
+    def add(self, metric: BenchMetric) -> None:
+        self.metrics[metric.name] = metric
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "name": self.name,
+            "metrics": {
+                m.name: {
+                    "value": m.value,
+                    "unit": m.unit,
+                    "higher_is_better": m.higher_is_better,
+                }
+                for m in self.metrics.values()
+            },
+            "speedup_vs_baseline": self.speedup_vs_baseline,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "BenchReport":
+        raw = json.loads(text)
+        report = cls(name=raw["name"])
+        for name, m in raw["metrics"].items():
+            report.add(
+                BenchMetric(
+                    name=name,
+                    value=float(m["value"]),
+                    unit=m["unit"],
+                    higher_is_better=bool(m["higher_is_better"]),
+                )
+            )
+        report.speedup_vs_baseline = {
+            k: float(v) for k, v in raw.get("speedup_vs_baseline", {}).items()
+        }
+        return report
+
+    def write(self, path: Path) -> None:
+        path.write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: Path) -> "BenchReport":
+        return cls.from_json(path.read_text())
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change vs the baseline."""
+
+    name: str
+    current: float
+    baseline: float
+    #: Normalized improvement factor: >1 = better than baseline in the
+    #: metric's own direction (rate up, or duration down).
+    speedup: float
+    regressed: bool
+
+
+def compare(
+    current: BenchReport,
+    baseline: BenchReport,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[MetricDelta]:
+    """Diff ``current`` against ``baseline``, metric by metric.
+
+    Metrics present in only one report are skipped (renaming a bench is
+    not a regression); deltas are ordered by metric name.
+    """
+    deltas: list[MetricDelta] = []
+    for name in sorted(current.metrics):
+        base = baseline.metrics.get(name)
+        if base is None:
+            continue
+        cur = current.metrics[name]
+        if cur.higher_is_better:
+            speedup = cur.value / base.value if base.value else float("inf")
+        else:
+            speedup = base.value / cur.value if cur.value else float("inf")
+        deltas.append(
+            MetricDelta(
+                name=name,
+                current=cur.value,
+                baseline=base.value,
+                speedup=speedup,
+                regressed=speedup < 1.0 - tolerance,
+            )
+        )
+    return deltas
+
+
+def regressions(deltas: list[MetricDelta]) -> list[MetricDelta]:
+    return [d for d in deltas if d.regressed]
+
+
+def annotate_speedups(report: BenchReport, deltas: list[MetricDelta]) -> None:
+    """Record per-metric speedups on the report before writing it."""
+    report.speedup_vs_baseline = {d.name: round(d.speedup, 4) for d in deltas}
+
+
+def render_report(
+    report: BenchReport, deltas: Optional[list[MetricDelta]] = None
+) -> str:
+    """Human-readable summary for the CLI."""
+    by_name = {d.name: d for d in (deltas or [])}
+    lines = [f"[{report.name}]"]
+    for name in sorted(report.metrics):
+        m = report.metrics[name]
+        line = f"  {m.name:28s} {m.value:>14,.1f} {m.unit}"
+        d = by_name.get(name)
+        if d is not None:
+            flag = "  ** REGRESSION **" if d.regressed else ""
+            line += f"  ({d.speedup:.2f}x vs baseline){flag}"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "BenchMetric",
+    "BenchReport",
+    "MetricDelta",
+    "compare",
+    "regressions",
+    "annotate_speedups",
+    "render_report",
+]

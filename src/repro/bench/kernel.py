@@ -1,0 +1,151 @@
+"""Kernel microbenchmarks: the simulation engine's hot paths in
+isolation.
+
+Each bench exercises one fast-path target from the kernel rework —
+the tuple heap, cancelled-event skipping, multicast fan-out, memoized
+canonical digests and the RNG stream cache — and reports a rate.
+
+This module (like :mod:`repro.bench.e2e`) is the one place outside the
+simulator allowed to read the wall clock: elapsed real time *is* the
+measurement, so the determinism lint rule is suppressed for it in
+``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..crypto.hashing import digest_of
+from ..net import Network
+from ..sim import Process, Simulator
+from ..sim.event import EventQueue
+from .harness import BenchMetric, BenchReport
+
+
+def bench_chained_events(n: int = 200_000) -> BenchMetric:
+    """One self-rescheduling callback driven ``n`` times: pure loop
+    overhead (pop, clock update, dispatch, push)."""
+    sim = Simulator(seed=1)
+    remaining = [n]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return BenchMetric("chained_events_per_sec", n / elapsed, "events/s")
+
+
+def bench_push_drain(n: int = 100_000) -> BenchMetric:
+    """Heap churn: push ``n`` events with interleaved timestamps, then
+    drain — sift cost dominates, which is what the tuple heap targets."""
+    queue = EventQueue()
+
+    def noop() -> None:
+        pass
+
+    start = time.perf_counter()
+    for i in range(n):
+        # Deterministic non-monotone times exercise real sift work.
+        queue.push(float((i * 7919) % n), noop)
+    while queue.pop() is not None:
+        pass
+    elapsed = time.perf_counter() - start
+    return BenchMetric("push_drain_events_per_sec", n / elapsed, "events/s")
+
+
+def bench_cancel_skip(n: int = 100_000) -> BenchMetric:
+    """Timer re-arm pattern: every pushed event is cancelled and
+    replaced before firing, so the pop path must skip soft-deleted
+    entries — the dominant cost of view-timeout management."""
+    queue = EventQueue()
+
+    def noop() -> None:
+        pass
+
+    start = time.perf_counter()
+    ev = queue.push(0.0, noop)
+    for i in range(1, n):
+        ev.cancel()
+        ev = queue.push(float(i), noop)
+    while queue.pop() is not None:
+        pass
+    elapsed = time.perf_counter() - start
+    return BenchMetric("cancel_skip_events_per_sec", n / elapsed, "events/s")
+
+
+class _Sink(Process):
+    """Message sink for the multicast bench."""
+
+    def on_message(self, sender: int, payload: object) -> None:
+        pass
+
+
+def bench_multicast(rounds: int = 1_000, n: int = 31) -> BenchMetric:
+    """Leader-broadcast fan-out: one source multicasting to ``n - 1``
+    peers per round, deliveries drained between rounds."""
+    sim = Simulator(seed=1)
+    network = Network(sim)
+    for pid in range(n):
+        network.register(_Sink(sim, pid))
+    dsts = tuple(range(1, n))
+    payload = "bench-payload"
+    start = time.perf_counter()
+    for _ in range(rounds):
+        network.multicast(0, dsts, payload)
+        sim.run()
+    elapsed = time.perf_counter() - start
+    return BenchMetric(
+        "multicast_sends_per_sec", rounds * len(dsts) / elapsed, "sends/s"
+    )
+
+
+def bench_digests(n: int = 20_000) -> BenchMetric:
+    """Canonical-encoding digests over distinct field tuples (cache
+    misses — the memoized hit path is effectively free)."""
+    start = time.perf_counter()
+    for i in range(n):
+        digest_of("bench", i, i * 31, b"payload")
+    elapsed = time.perf_counter() - start
+    return BenchMetric("digests_per_sec", n / elapsed, "digests/s")
+
+
+def bench_rng_streams(n: int = 200_000) -> BenchMetric:
+    """Repeated named-stream lookups — the per-message hot path that
+    the O(1) stream cache serves."""
+    sim = Simulator(seed=1)
+    sim.rng.stream("net.latency", purpose="bench latency draws")
+    start = time.perf_counter()
+    for _ in range(n):
+        sim.rng.stream("net.latency")
+    elapsed = time.perf_counter() - start
+    return BenchMetric("rng_lookups_per_sec", n / elapsed, "lookups/s")
+
+
+def run_kernel_bench(quick: bool = False) -> BenchReport:
+    """Run every kernel microbench; ``quick`` shrinks iteration counts
+    for smoke tests (rates stay comparable, noise grows)."""
+    scale = 10 if quick else 1
+    report = BenchReport(name="kernel")
+    report.add(bench_chained_events(200_000 // scale))
+    report.add(bench_push_drain(100_000 // scale))
+    report.add(bench_cancel_skip(100_000 // scale))
+    report.add(bench_multicast(1_000 // scale))
+    report.add(bench_digests(20_000 // scale))
+    report.add(bench_rng_streams(200_000 // scale))
+    return report
+
+
+__all__ = [
+    "bench_chained_events",
+    "bench_push_drain",
+    "bench_cancel_skip",
+    "bench_multicast",
+    "bench_digests",
+    "bench_rng_streams",
+    "run_kernel_bench",
+]

@@ -11,6 +11,8 @@ Examples::
     oneshot-repro ablations
     oneshot-repro parallel --k 1 2 4
     oneshot-repro timeline --protocol damysus --views 3 5
+    oneshot-repro sweep --grid fig7 --workers 4
+    oneshot-repro bench --tolerance 0.25
     oneshot-repro lint --format json
 """
 
@@ -38,6 +40,11 @@ from .experiments import (
     run_fig7,
     run_parallel_scaling,
     steps_table,
+)
+from .experiments.sweep import (
+    run_ablations_sweep,
+    run_degraded_sweep,
+    run_fig7_sweep,
 )
 from .experiments.fig7 import PAPER_F_VALUES
 
@@ -147,6 +154,90 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a paper-scale grid across a worker pool.
+
+    The merged output is byte-identical for any ``--workers`` value:
+    results are joined in task-key order, never completion order.
+    """
+    if args.grid == "fig7":
+        res = run_fig7_sweep(
+            args.deployment,
+            f_values=tuple(args.f),
+            target_blocks=args.blocks,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        print(render_fig7(res))
+    elif args.grid == "ablations":
+        print(
+            render_ablations(
+                run_ablations_sweep(
+                    target_blocks=args.blocks, workers=args.workers
+                )
+            )
+        )
+    else:  # degraded
+        print(
+            render_degraded(
+                run_degraded_sweep(
+                    target_blocks=args.blocks,
+                    seed=args.seed,
+                    workers=args.workers,
+                )
+            )
+        )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark regression gate (docs/BENCHMARKS in README).
+
+    Runs the kernel microbenches and one e2e consensus run, compares
+    against the recorded baselines and rewrites them when healthy.
+
+    Exit code contract: 0 = within tolerance (baseline JSONs written),
+    1 = regression beyond ``--tolerance`` (baselines left untouched),
+    2 = bad invocation (nonexistent --output-dir).
+    """
+    from pathlib import Path
+
+    from .bench import (
+        annotate_speedups,
+        BenchReport,
+        compare,
+        regressions,
+        render_report,
+        run_e2e_bench,
+        run_kernel_bench,
+    )
+
+    out_dir = Path(args.output_dir)
+    if not out_dir.is_dir():
+        print(
+            f"error: --output-dir {args.output_dir!r} is not a directory",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = False
+    for report in (run_kernel_bench(quick=args.quick), run_e2e_bench(quick=args.quick)):
+        path = out_dir / f"BENCH_{report.name}.json"
+        deltas = None
+        if path.is_file():
+            deltas = compare(
+                report, BenchReport.load(path), tolerance=args.tolerance
+            )
+            annotate_speedups(report, deltas)
+        print(render_report(report, deltas))
+        if deltas and regressions(deltas):
+            failed = True
+            print(f"regression: baseline {path} left untouched", file=sys.stderr)
+        else:
+            report.write(path)
+    return 1 if failed else 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Static invariant gate (docs/invariants.md).
 
@@ -246,6 +337,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--views", type=int, nargs=2, default=[2, 4], metavar=("FIRST", "LAST"))
     p.add_argument("--seed", type=int, default=7)
     p.set_defaults(func=_cmd_timeline)
+
+    p = sub.add_parser(
+        "sweep", help="run an experiment grid across a worker pool"
+    )
+    p.add_argument(
+        "--grid",
+        default="fig7",
+        choices=["fig7", "ablations", "degraded"],
+        help="which experiment grid to sweep",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="pool size (0 = one per CPU, 1 = sequential)",
+    )
+    p.add_argument("--f", type=int, nargs="+", default=list(PAPER_F_VALUES))
+    _add_common(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "bench", help="kernel + e2e benchmarks with regression gate"
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink iteration counts (smoke tests; noisier rates)",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown vs baseline (default 0.25)",
+    )
+    p.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory holding BENCH_kernel.json / BENCH_e2e.json",
+    )
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("lint", help="static invariant checks (docs/invariants.md)")
     p.add_argument("--root", default=None, help="package dir to lint (default: repro)")

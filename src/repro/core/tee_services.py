@@ -66,6 +66,17 @@ class Checker(Enclave):
         #: View of the latest proposed block stored (genesis = -1).
         self.prepv = -1
 
+    def rebind_leader_map(self, leader_of: Callable[[int], int]) -> None:
+        """Replace the view -> leader map used to validate proposals.
+
+        The map is part of the enclave's provisioning, not its mutable
+        protocol state, so swapping it (e.g. the staggered rotations of
+        the multi-instance experiments) is a supported reconfiguration
+        — callers must keep it consistent with the host replica's own
+        ``leader_of`` or every proposal check diverges.
+        """
+        self._leader_of = leader_of
+
     # -- l.5-8, Fig. 5c -------------------------------------------------
     def tee_prepare(self, h: Digest) -> Optional[Proposal]:
         """Certify a proposal; at most once per view."""

@@ -31,6 +31,15 @@ from .parallel import (
     run_parallel_scaling,
 )
 from .runner import RunResult, run_experiment
+from .sweep import (
+    SweepOutcome,
+    SweepTask,
+    outcomes_to_json,
+    run_ablations_sweep,
+    run_degraded_sweep,
+    run_fig7_sweep,
+    run_sweep,
+)
 from .steps_table import (
     PAPER_STEPS,
     StepsRow,
@@ -69,6 +78,13 @@ __all__ = [
     "run_parallel_scaling",
     "RunResult",
     "run_experiment",
+    "SweepOutcome",
+    "SweepTask",
+    "outcomes_to_json",
+    "run_ablations_sweep",
+    "run_degraded_sweep",
+    "run_fig7_sweep",
+    "run_sweep",
     "PAPER_STEPS",
     "StepsRow",
     "measure_execution",

@@ -49,8 +49,8 @@ def _offset_leader(cluster: Cluster, offset: int) -> None:
         replica.leader_of = (lambda off: lambda view: (view + off) % n)(offset)
         # The CHECKER validates proposer identity with the same map.
         checker = getattr(replica, "checker", None)
-        if checker is not None and hasattr(checker, "_leader_of"):
-            checker._leader_of = replica.leader_of
+        if checker is not None and hasattr(checker, "rebind_leader_map"):
+            checker.rebind_leader_map(replica.leader_of)
 
 
 def run_parallel(

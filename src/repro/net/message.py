@@ -23,7 +23,7 @@ def payload_size(payload: Any) -> int:
     return 64  # small control message default
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """A message in flight: addressing, payload, and accounting."""
 

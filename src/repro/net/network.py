@@ -113,10 +113,21 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: int, dst: int, payload: Any) -> Envelope:
         """Send ``payload`` from ``src`` to ``dst``; returns the envelope."""
+        return self._send_one(
+            src, dst, payload, payload_size(payload) + HEADER_BYTES, self.sim.now
+        )
+
+    def _send_one(
+        self, src: int, dst: int, payload: Any, size: int, now: float
+    ) -> Envelope:
+        """Transmit one pre-sized message at ``now`` (shared fast path).
+
+        ``size`` and ``now`` are computed by the caller so a multicast
+        charges the (potentially expensive) payload sizing walk once
+        per message, not once per destination.
+        """
         if dst not in self._procs:
             raise KeyError(f"unknown destination {dst}")
-        now = self.sim.now
-        size = payload_size(payload) + HEADER_BYTES
         env = Envelope(
             src=src,
             dst=dst,
@@ -151,8 +162,17 @@ class Network:
         return env
 
     def multicast(self, src: int, dsts: Iterable[int], payload: Any) -> list[Envelope]:
-        """Unicast fan-out to each destination (TCP-style, as in Salticidae)."""
-        return [self.send(src, dst, payload) for dst in dsts]
+        """Unicast fan-out to each destination (TCP-style, as in Salticidae).
+
+        Sizes the payload once and samples each link's latency in
+        destination order, so the result (envelopes, NIC occupancy and
+        RNG draw sequence) is bit-identical to calling :meth:`send` per
+        destination — only cheaper.
+        """
+        size = payload_size(payload) + HEADER_BYTES
+        now = self.sim.now
+        send_one = self._send_one
+        return [send_one(src, dst, payload, size, now) for dst in dsts]
 
     def _extra_delay(self, now: float, src: int, dst: int, size: int) -> float:
         extra = 0.0

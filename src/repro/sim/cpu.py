@@ -19,6 +19,8 @@ from __future__ import annotations
 class Resource:
     """A FIFO-serialized unit-capacity resource (CPU core or NIC)."""
 
+    __slots__ = ("name", "busy_until", "total_busy", "jobs")
+
     def __init__(self, name: str = "") -> None:
         self.name = name
         self.busy_until = 0.0
@@ -60,9 +62,13 @@ class Resource:
 class Cpu(Resource):
     """A single-core CPU; alias of :class:`Resource` with a clearer name."""
 
+    __slots__ = ()
+
 
 class Nic(Resource):
     """A network interface serializing outgoing bytes at finite bandwidth."""
+
+    __slots__ = ("bandwidth_bps",)
 
     def __init__(self, bandwidth_bps: float, name: str = "") -> None:
         super().__init__(name)

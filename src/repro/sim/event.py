@@ -6,17 +6,22 @@ increasing insertion counter, so two events scheduled for the same
 instant always fire in the order they were created.  This makes every
 run bit-reproducible for a fixed seed, which the safety property tests
 rely on.
+
+Fast-path design: the heap stores plain ``(time, priority, seq, event)``
+tuples, so every sift compares machine tuples of floats/ints instead of
+invoking rich dataclass comparison methods; the :class:`Event` record
+itself is a ``__slots__`` class carried as untyped ballast in the last
+tuple slot.  The queue also tracks a *live* event count so cancelled
+but not-yet-popped events can be excluded in O(1) (see
+:meth:`EventQueue.live_count`).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from heapq import heappop, heappush
+from typing import Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
@@ -29,34 +34,75 @@ class Event:
     seq:
         Insertion counter used as the final deterministic tie-break.
     callback / args:
-        What to run.  ``callback`` is excluded from ordering.
+        What to run.
     cancelled:
         Soft-delete flag — cancelled events stay in the heap but are
         skipped by the loop (cheaper than heap surgery).
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(default=(), compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "args",
+        "label",
+        "cancelled",
+        "_queue",
+    )
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        #: Owning queue while enqueued (None once popped/cleared), so a
+        #: cancellation can maintain the queue's live-event count.
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing (idempotent)."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._live -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"<Event t={self.time!r} prio={self.priority} seq={self.seq} {state}>"
 
 
 class EventQueue:
     """Min-heap of :class:`Event` with deterministic tie-breaking."""
 
+    __slots__ = ("_heap", "_next_seq", "_live")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        #: Heap of (time, priority, seq, Event) — tuple comparison never
+        #: reaches the Event because seq is unique.
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._next_seq = 0
+        self._live = 0
 
     def __len__(self) -> int:
+        """Events still heaped, *including* cancelled ones."""
         return len(self._heap)
+
+    def live_count(self) -> int:
+        """Events that will still fire (cancelled ones excluded)."""
+        return self._live
 
     def push(
         self,
@@ -66,33 +112,68 @@ class EventQueue:
         priority: int = 0,
         label: str = "",
     ) -> Event:
-        ev = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._seq),
-            callback=callback,
-            args=args,
-            label=label,
-        )
-        heapq.heappush(self._heap, ev)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        ev = Event(time, priority, seq, callback, args, label)
+        ev._queue = self
+        heappush(self._heap, (time, priority, seq, ev))
+        self._live += 1
         return ev
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if drained."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heappop(heap)[3]
             if not ev.cancelled:
+                # Detach so a late cancel() of an already-fired event
+                # cannot corrupt the live count.
+                ev._queue = None
+                self._live -= 1
                 return ev
+            ev._queue = None
+        return None
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the next live event, but only if it fires at or before
+        ``until`` (``None`` = no bound).
+
+        Fuses :meth:`peek_time` and :meth:`pop` for the simulator's hot
+        loop: one heap traversal per event instead of two.  Returns
+        ``None`` when drained *or* when the next live event lies beyond
+        the bound — disambiguate with :meth:`live_count`.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            ev = head[3]
+            if ev.cancelled:
+                heappop(heap)
+                ev._queue = None
+                continue
+            if until is not None and head[0] > until:
+                return None
+            heappop(heap)
+            ev._queue = None
+            self._live -= 1
+            return ev
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head[3].cancelled:
+                return head[0]
+            heappop(heap)[3]._queue = None
+        return None
 
     def clear(self) -> None:
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
+        self._live = 0
 
 
 __all__ = ["Event", "EventQueue"]

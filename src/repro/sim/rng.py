@@ -64,6 +64,12 @@ class RngRegistry:
         — two unrelated consumers silently sharing a stream is exactly
         the kind of coupling that breaks trace stability.
         """
+        if purpose is None:
+            # Fast path: an untagged lookup of an existing stream needs
+            # no purpose bookkeeping — one dict probe, O(1).
+            gen = self._streams.get(name)
+            if gen is not None:
+                return gen
         if name in self._purposes:
             known = self._purposes[name]
             if purpose is not None and known is not None and purpose != known:

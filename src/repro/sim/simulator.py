@@ -115,17 +115,24 @@ class Simulator:
             raise SimulationError("simulator loop is not reentrant")
         self._running = True
         executed = 0
+        queue = self._queue
         try:
+            # Hot loop: :meth:`step` is inlined and peek + pop are
+            # fused into a single bounded pop per event.
             while True:
                 if max_events is not None and executed >= max_events:
                     return
-                nxt = self._queue.peek_time()
-                if nxt is None:
+                ev = queue.pop_next(until)
+                if ev is None:
+                    if until is not None and queue.live_count():
+                        # Next live event lies beyond the bound.
+                        self._now = until
                     return
-                if until is not None and nxt > until:
-                    self._now = until
-                    return
-                self.step()
+                self._now = ev.time
+                self.events_executed += 1
+                if self.trace is not None:
+                    self.trace(ev.time, ev.label)
+                ev.callback(*ev.args)
                 executed += 1
                 if stop_when is not None and stop_when():
                     return
@@ -133,8 +140,13 @@ class Simulator:
             self._running = False
 
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled)."""
-        return len(self._queue)
+        """Number of events still queued that will actually fire.
+
+        Cancelled-but-unpopped events are excluded: the queue keeps a
+        live-event counter, so this is O(1) and does not drift as
+        timers are re-armed (every re-arm cancels the old event).
+        """
+        return self._queue.live_count()
 
 
 __all__ = ["Simulator", "SimulationError"]

@@ -39,10 +39,18 @@ class Block:
         """The paper's ``b ≻ h`` relation."""
         return self.parent == h
 
+    @cached_property
+    def _wire_size(self) -> int:
+        return 8 + sum(t.wire_size() for t in self.txs)
+
     def wire_size(self) -> int:
         """Bytes on the wire: transactions carry their own 40 B overhead
-        (which already amortizes the 32 B parent hash, per Sec. VIII)."""
-        return 8 + sum(t.wire_size() for t in self.txs)
+        (which already amortizes the 32 B parent hash, per Sec. VIII).
+
+        Cached: a block is immutable, and broadcasting it sizes the
+        same transaction set once instead of once per destination.
+        """
+        return self._wire_size
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -61,8 +61,9 @@ class Mempool:
 
     def mark_committed(self, tx: Transaction) -> None:
         """Drop a transaction that some block already committed."""
-        self._seen.add(tx.key())
-        self._pending.pop(tx.key(), None)
+        k = (tx.client_id, tx.tx_id)
+        self._seen.add(k)
+        self._pending.pop(k, None)
 
     def next_batch(self, now: float = 0.0) -> tuple[Transaction, ...]:
         """Form the next block's transaction list."""

@@ -16,7 +16,7 @@ from typing import Any, Optional
 TX_OVERHEAD_BYTES = 40
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Transaction:
     """An opaque client command with size accounting.
 

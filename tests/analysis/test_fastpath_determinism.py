@@ -1,0 +1,55 @@
+"""Golden-fingerprint regression gate for the kernel fast path.
+
+The simulation kernel's performance work (tuple heap, ``__slots__``
+records, memoized digests, multicast fan-out, RNG stream cache) is
+required to be *behaviour-preserving*: bit-identical event timelines,
+message streams and decided chains for a fixed seed.  These digests
+were captured from the pre-fast-path kernel; any divergence means an
+optimization changed observable scheduling or encoding and must be
+treated as a correctness bug, not re-pinned.
+"""
+
+import pytest
+
+from repro.analysis.sanitizer import fingerprint_run
+
+#: protocol -> (events, messages, decisions, fingerprint digest),
+#: captured at seed=7, f=1, target_blocks=6, 2 ms constant latency.
+GOLDEN = {
+    "oneshot": (
+        138,
+        70,
+        17,
+        "e83d05b058ccbfa8c1d9f46180b836fb414420f4b62b9a3a8139bb3b25f08ad9",
+    ),
+    "damysus": (
+        216,
+        109,
+        17,
+        "5d89ab2c74def6c0f527d094a94833cdd2dcef7781f481019d108d07ea3ffefa",
+    ),
+    "hotstuff": (
+        379,
+        193,
+        22,
+        "e1b44e16c61b3092e8c8b81bb7e2f5f2574a04cdca817f9a3d895bef3c3ff97c",
+    ),
+}
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+def test_fingerprint_matches_pre_fastpath_golden(protocol):
+    events, messages, decisions, digest = GOLDEN[protocol]
+    fp, _ = fingerprint_run(protocol, seed=7, f=1, target_blocks=6)
+    assert fp.events == events
+    assert fp.messages == messages
+    assert fp.decisions == decisions
+    assert fp.digest() == digest
+
+
+def test_fingerprint_is_replay_stable():
+    """Two fresh runs in one process agree — digest memo caches and the
+    RNG stream cache must not make a second run see different state."""
+    a, _ = fingerprint_run("oneshot", seed=7, f=1, target_blocks=6)
+    b, _ = fingerprint_run("oneshot", seed=7, f=1, target_blocks=6)
+    assert a.digest() == b.digest()

@@ -1,0 +1,159 @@
+"""Benchmark regression harness: report model, comparison semantics,
+and the ``oneshot-repro bench --quick`` end-to-end smoke path.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BenchMetric,
+    BenchReport,
+    annotate_speedups,
+    compare,
+    regressions,
+    render_report,
+)
+from repro.cli import main
+
+pytestmark = pytest.mark.bench
+
+
+def _report(name: str, **values: float) -> BenchReport:
+    r = BenchReport(name=name)
+    for metric, value in values.items():
+        higher = metric != "wall_seconds"
+        r.add(BenchMetric(metric, value, "x/s" if higher else "s", higher))
+    return r
+
+
+# ----------------------------------------------------------------------
+# Report model
+# ----------------------------------------------------------------------
+def test_report_json_roundtrip():
+    r = _report("kernel", events_per_sec=1000.0, wall_seconds=0.5)
+    clone = BenchReport.from_json(r.to_json())
+    assert clone.name == r.name
+    assert clone.metrics == r.metrics
+
+
+def test_report_json_sorted_and_newline_terminated():
+    text = _report("kernel", b_metric=1.0, a_metric=2.0).to_json()
+    assert text.endswith("\n")
+    payload = json.loads(text)
+    assert list(payload["metrics"]) == sorted(payload["metrics"])
+
+
+# ----------------------------------------------------------------------
+# Comparison semantics
+# ----------------------------------------------------------------------
+def test_compare_flags_rate_regression():
+    deltas = compare(
+        _report("k", events_per_sec=700.0),
+        _report("k", events_per_sec=1000.0),
+        tolerance=0.25,
+    )
+    assert [d.regressed for d in deltas] == [True]
+    assert deltas[0].speedup == pytest.approx(0.7)
+    assert regressions(deltas) == deltas
+
+
+def test_compare_tolerates_noise():
+    deltas = compare(
+        _report("k", events_per_sec=800.0),
+        _report("k", events_per_sec=1000.0),
+        tolerance=0.25,
+    )
+    assert regressions(deltas) == []
+
+
+def test_compare_duration_direction_inverted():
+    """wall_seconds going *up* is the regression for durations."""
+    deltas = compare(
+        _report("e", wall_seconds=2.0),
+        _report("e", wall_seconds=1.0),
+        tolerance=0.25,
+    )
+    assert deltas[0].speedup == pytest.approx(0.5)
+    assert deltas[0].regressed
+    faster = compare(
+        _report("e", wall_seconds=0.5),
+        _report("e", wall_seconds=1.0),
+        tolerance=0.25,
+    )
+    assert faster[0].speedup == pytest.approx(2.0)
+    assert not faster[0].regressed
+
+
+def test_compare_skips_unshared_metrics():
+    deltas = compare(
+        _report("k", new_metric=1.0),
+        _report("k", old_metric=1.0),
+    )
+    assert deltas == []
+
+
+def test_annotate_speedups_lands_in_json():
+    current = _report("k", events_per_sec=1500.0)
+    deltas = compare(current, _report("k", events_per_sec=1000.0))
+    annotate_speedups(current, deltas)
+    payload = json.loads(current.to_json())
+    assert payload["speedup_vs_baseline"]["events_per_sec"] == pytest.approx(1.5)
+
+
+def test_render_report_marks_regressions():
+    current = _report("k", events_per_sec=100.0)
+    deltas = compare(current, _report("k", events_per_sec=1000.0))
+    text = render_report(current, deltas)
+    assert "REGRESSION" in text
+    assert "events_per_sec" in text
+
+
+# ----------------------------------------------------------------------
+# CLI end-to-end (exit-code contract from the docstring of _cmd_bench)
+# ----------------------------------------------------------------------
+def test_cli_bench_quick_smoke(tmp_path):
+    """First run writes both baselines and exits 0; a rerun against
+    them compares, annotates speedups, and still exits 0.  The rerun's
+    tolerance is deliberately huge: two back-to-back wall-clock
+    measurements on a loaded CI machine can differ by several x, and
+    this test exercises the comparison path, not the gate (the gate is
+    covered deterministically below with an impossible baseline)."""
+    out = str(tmp_path)
+    assert main(["bench", "--quick", "--output-dir", out]) == 0
+    kernel = BenchReport.load(tmp_path / "BENCH_kernel.json")
+    e2e = BenchReport.load(tmp_path / "BENCH_e2e.json")
+    assert "chained_events_per_sec" in kernel.metrics
+    assert {"events_per_sec", "tx_per_wall_sec", "wall_seconds"} <= set(
+        e2e.metrics
+    )
+    assert (
+        main(["bench", "--quick", "--tolerance", "1000", "--output-dir", out])
+        == 0
+    )
+    rerun = BenchReport.load(tmp_path / "BENCH_kernel.json")
+    assert rerun.speedup_vs_baseline  # annotated on the comparison run
+
+
+def test_cli_bench_regression_exits_nonzero(tmp_path):
+    """A baseline claiming impossible rates forces exit 1 and leaves
+    the baseline file untouched."""
+    impossible = _report(
+        "kernel",
+        chained_events_per_sec=1e15,
+        push_drain_events_per_sec=1e15,
+        cancel_skip_events_per_sec=1e15,
+        multicast_sends_per_sec=1e15,
+        digests_per_sec=1e15,
+        rng_lookups_per_sec=1e15,
+    )
+    path = tmp_path / "BENCH_kernel.json"
+    impossible.write(path)
+    before = path.read_text()
+    assert main(["bench", "--quick", "--output-dir", str(tmp_path)]) == 1
+    assert path.read_text() == before  # regression never overwrites
+
+
+def test_cli_bench_bad_output_dir_exits_2(tmp_path):
+    missing = str(tmp_path / "does-not-exist")
+    assert main(["bench", "--quick", "--output-dir", missing]) == 2

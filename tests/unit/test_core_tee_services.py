@@ -254,3 +254,24 @@ def test_accum_rejects_prepare_cert_input():
     acc_svc = make_accum()
     top, rest, _ = make_nv_set()
     assert acc_svc.tee_accum(top, [rest[0], GENESIS_QC]) is None
+
+
+# ----------------------------------------------------------------------
+# rebind_leader_map: enclave reconfiguration for staggered rotations
+# ----------------------------------------------------------------------
+def test_rebind_leader_map_changes_proposal_validation():
+    """After rebinding, the checker validates proposals against the new
+    view -> leader map (the multi-instance experiments stagger it)."""
+    proposer = make_checker(owner=1)
+    proposer.view = 1  # view 1, where pid 1 leads under leader_of
+    prop = proposer.tee_prepare(H1)
+    assert prop is not None
+
+    verifier = make_checker(owner=2)
+    assert verifier._verify_proposal(prop)
+    # Shift the rotation by one: view 1's leader becomes pid 2.
+    verifier.rebind_leader_map(lambda view: (view + 1) % N)
+    assert not verifier._verify_proposal(prop)
+    # Rebinding back restores acceptance.
+    verifier.rebind_leader_map(leader_of)
+    assert verifier._verify_proposal(prop)

@@ -86,3 +86,113 @@ def test_event_labels_preserved():
     q = EventQueue()
     ev = q.push(1.0, lambda: None, label="hello")
     assert ev.label == "hello"
+
+
+# ----------------------------------------------------------------------
+# Tuple-heap fast path: live counting and bounded pops
+# ----------------------------------------------------------------------
+def test_live_count_excludes_cancelled():
+    q = EventQueue()
+    evs = [q.push(float(i), lambda: None) for i in range(5)]
+    assert q.live_count() == 5
+    evs[1].cancel()
+    evs[3].cancel()
+    assert q.live_count() == 3
+    assert len(q) == 5  # cancelled entries still heaped
+
+
+def test_live_count_tracks_pops():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.pop()
+    assert q.live_count() == 1
+    q.pop()
+    assert q.live_count() == 0
+
+
+def test_cancel_after_pop_does_not_corrupt_live_count():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.pop() is ev
+    ev.cancel()  # too late — it already fired
+    assert q.live_count() == 1
+
+
+def test_cancel_after_clear_does_not_corrupt_live_count():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.clear()
+    ev.cancel()
+    assert q.live_count() == 0
+    q.push(1.0, lambda: None)
+    assert q.live_count() == 1
+
+
+def test_clear_resets_live_count():
+    q = EventQueue()
+    for i in range(4):
+        q.push(float(i), lambda: None)
+    q.clear()
+    assert q.live_count() == 0
+    assert len(q) == 0
+
+
+def test_pop_next_respects_bound():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(3.0, lambda: None)
+    assert q.pop_next(until=2.0).time == 1.0
+    # The 3.0 event lies beyond the bound: not popped, still live.
+    assert q.pop_next(until=2.0) is None
+    assert q.live_count() == 1
+    assert q.pop_next(until=3.0).time == 3.0
+
+
+def test_pop_next_event_exactly_at_bound_fires():
+    q = EventQueue()
+    q.push(2.0, lambda: None)
+    assert q.pop_next(until=2.0) is not None
+
+
+def test_pop_next_skips_cancelled_heads():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    second = q.push(2.0, lambda: None)
+    first.cancel()
+    assert q.pop_next() is second
+    assert q.pop_next() is None
+
+
+def test_pop_next_unbounded_drains():
+    q = EventQueue()
+    times = [3.0, 1.0, 2.0]
+    for t in times:
+        q.push(t, lambda: None)
+    popped = []
+    while (ev := q.pop_next()) is not None:
+        popped.append(ev.time)
+    assert popped == sorted(times)
+
+
+def test_tuple_heap_never_compares_events():
+    """Events scheduled for identical (time, priority) must order by
+    seq alone — callbacks are not comparable, so reaching the Event in
+    a tuple comparison would raise TypeError."""
+    q = EventQueue()
+    order = []
+    # Many identical keys force deep sift chains through equal tuples.
+    for i in range(100):
+        q.push(1.0, order.append, (i,), priority=0)
+    while (ev := q.pop()) is not None:
+        ev.callback(*ev.args)
+    assert order == list(range(100))
+
+
+def test_cancelled_event_repr_and_flag():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    assert not ev.cancelled
+    ev.cancel()
+    assert ev.cancelled

@@ -123,3 +123,59 @@ def test_pending_events():
     sim = Simulator()
     sim.schedule(1.0, lambda: None)
     assert sim.pending_events() == 1
+
+
+def test_pending_events_excludes_cancelled():
+    """A cancelled event no longer counts as pending even while it is
+    still sitting in the heap (timer re-arms used to inflate this)."""
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    ev.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_pending_events_stable_under_timer_rearm():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    for i in range(50):  # re-arm: cancel + replace, like view timeouts
+        ev.cancel()
+        ev = sim.schedule(1.0 + i, lambda: None)
+    assert sim.pending_events() == 1
+
+
+def test_run_until_with_only_cancelled_future_events():
+    """If everything beyond the bound is cancelled, the queue is
+    effectively drained: the clock must not jump to the bound."""
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    ev = sim.schedule(10.0, lambda: None)
+    ev.cancel()
+    sim.run(until=5.0)
+    assert sim.now == 1.0
+
+
+def test_run_until_executes_event_exactly_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, 1)
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+
+
+def test_cancel_inside_callback_skips_peer():
+    """An event may cancel a later event scheduled for the same tick."""
+    sim = Simulator()
+    fired = []
+    ev2 = sim.schedule(1.0, fired.append, 2)
+
+    def first():
+        fired.append(1)
+        ev2.cancel()
+
+    # Same time, later seq than ev2 — reorder via priority.
+    sim.schedule(1.0, first, priority=-1)
+    sim.run()
+    assert fired == [1]
+    assert sim.pending_events() == 0

@@ -14,8 +14,15 @@ Everywhere else:
 
 * any access (read or write) to the enclave-private attributes
   (``_key``, ``_accrued``, ``_ring``, ``_crypto``, ``_tee``,
-  ``_enter``, ``_charge``, ``_sign``, ``_verify``, ``_verify_many``)
-  is flagged — untrusted code cannot even *name* sealed state;
+  ``_enter``, ``_charge``, ``_sign``, ``_sign_batch``, ``_verify``,
+  ``_verify_many``) is flagged — untrusted code cannot even *name*
+  sealed state;
+* the signing-key internals of :mod:`repro.crypto.keys` (``_secret``,
+  ``_check_tag``, ``_kp``) are policed the same way, with ``keys.py``
+  itself the only trusted holder: the verification fast paths (the
+  ``KeyRing`` memo, the certificate instance memos) and the batched
+  ecalls must route through the public ``verify``/``sign`` API and can
+  never reach a raw secret;
 * writes to the trusted counters (``ecalls``, and ``view``/``phase``/
   ``prepv``-style step counters) on any receiver other than ``self``
   are flagged — replicas may read a checker's view (a getter ecall in
@@ -30,14 +37,19 @@ from typing import Iterator, Sequence
 from ..findings import Finding
 from .base import ModuleInfo, Rule
 
-#: Modules allowed to touch enclave internals.
+#: Modules allowed to touch enclave internals.  ``crypto/keys.py`` is
+#: the simulated key-asymmetry boundary: it is the only place the raw
+#: signing secret may be named, so the verify fast paths cannot skip
+#: the HMAC by peeking at it.
 DEFAULT_TRUSTED: tuple[str, ...] = (
     "repro/tee/",
     "repro/core/tee_services.py",
     "repro/protocols/*/tee_services.py",
+    "repro/crypto/keys.py",
 )
 
-#: Attributes private to the enclave (any access outside is a breach).
+#: Attributes private to the enclave or the signing-key objects (any
+#: access outside is a breach).
 PRIVATE_ATTRS: frozenset[str] = frozenset(
     {
         "_key",
@@ -48,8 +60,12 @@ PRIVATE_ATTRS: frozenset[str] = frozenset(
         "_enter",
         "_charge",
         "_sign",
+        "_sign_batch",
         "_verify",
         "_verify_many",
+        "_secret",
+        "_check_tag",
+        "_kp",
     }
 )
 

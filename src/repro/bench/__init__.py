@@ -1,12 +1,15 @@
 """Benchmark regression harness (``oneshot-repro bench``).
 
-Times the simulation kernel's hot paths (:mod:`repro.bench.kernel`) and
-one end-to-end consensus run (:mod:`repro.bench.e2e`), compares the
-rates against the recorded baselines (``BENCH_kernel.json`` /
-``BENCH_e2e.json``) and fails on regressions beyond a tolerance — see
-:mod:`repro.bench.harness` for the report model and exit contract.
+Times the simulation kernel's hot paths (:mod:`repro.bench.kernel`),
+one end-to-end consensus run (:mod:`repro.bench.e2e`) and the crypto
+verification fast path (:mod:`repro.bench.crypto`), compares the rates
+against the recorded baselines (``BENCH_kernel.json`` /
+``BENCH_e2e.json`` / ``BENCH_crypto.json``) and fails on regressions
+beyond a tolerance — see :mod:`repro.bench.harness` for the report
+model and exit contract.
 """
 
+from .crypto import run_crypto_bench
 from .e2e import run_e2e_bench
 from .harness import (
     DEFAULT_TOLERANCE,
@@ -29,6 +32,7 @@ __all__ = [
     "compare",
     "regressions",
     "render_report",
+    "run_crypto_bench",
     "run_e2e_bench",
     "run_kernel_bench",
 ]

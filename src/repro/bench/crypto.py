@@ -1,0 +1,224 @@
+"""Crypto microbenchmarks: the verification fast path in isolation.
+
+Each bench times one target of the crypto fast-path work — raw
+signing, cold vs memoized signature verification, quorum-certificate
+and new-view-certificate verification, and the batched TEE vote ecall
+— and reports a wall-clock rate.  The ``warm_verify_speedup`` metric
+is the headline: how much cheaper a signature check becomes after
+first sight (the memo of :mod:`repro.crypto.memo`).
+
+Cold paths are measured with the verification memos globally disabled
+(``memo.set_enabled(False)``), which is exactly the code path a forged
+signature always takes; warm paths hit the memos the way steady-state
+consensus traffic does.  Simulated costs are not involved here at all
+— this module measures Python wall time, the one thing the memos are
+allowed to change.
+
+This module (like the other bench tiers) is allowed to read the wall
+clock: elapsed real time *is* the measurement, so the determinism lint
+rule is suppressed for it in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..crypto import FREE, KeyPair, KeyRing, memo
+from ..crypto.hashing import digest_of
+from ..core.certificates import (
+    PrepareCert,
+    StoreCert,
+    NewViewCert,
+    store_digest,
+    verify_new_view,
+)
+from ..core.tee_services import Checker
+from ..tee import TeeCostModel
+from .harness import BenchMetric, BenchReport
+
+#: Cluster shape used by the certificate benches (f=3, quorum f+1).
+_QUORUM = 4
+
+
+def _keyring(n: int = 8) -> tuple[KeyRing, list[KeyPair]]:
+    pairs = [KeyPair.generate(i, master_seed=42, domain="bench") for i in range(n)]
+    ring = KeyRing()
+    for kp in pairs:
+        ring.add(kp.public())
+    return ring, pairs
+
+
+def bench_sign(n: int = 20_000) -> BenchMetric:
+    """Raw signing throughput (the HMAC standing in for ECDSA-P256)."""
+    _, pairs = _keyring()
+    kp = pairs[0]
+    digests = [digest_of("cb-sign", i) for i in range(n)]
+    start = time.perf_counter()
+    for d in digests:
+        kp.sign(d)
+    elapsed = time.perf_counter() - start
+    return BenchMetric("sign_per_sec", n / elapsed, "sigs/s")
+
+
+def bench_verify_cold(n: int = 20_000) -> BenchMetric:
+    """First-sight verification: every signature pays the full check
+    (memos disabled — the path every fresh or forged signature takes)."""
+    ring, pairs = _keyring()
+    kp = pairs[0]
+    work = [(d, kp.sign(d)) for d in (digest_of("cb-cold", i) for i in range(n))]
+    prev = memo.set_enabled(False)
+    try:
+        start = time.perf_counter()
+        for d, sig in work:
+            ring.verify(d, sig)
+        elapsed = time.perf_counter() - start
+    finally:
+        memo.set_enabled(prev)
+    return BenchMetric("verify_cold_per_sec", n / elapsed, "sigs/s")
+
+
+def bench_verify_warm(n: int = 200_000) -> BenchMetric:
+    """Re-verification of an already-seen signature: one memo probe."""
+    ring, pairs = _keyring()
+    d = digest_of("cb-warm", 0)
+    sig = pairs[0].sign(d)
+    ring.verify(d, sig)  # populate the memo
+    start = time.perf_counter()
+    for _ in range(n):
+        ring.verify(d, sig)
+    elapsed = time.perf_counter() - start
+    return BenchMetric("verify_warm_per_sec", n / elapsed, "sigs/s")
+
+
+def _quorum_cert(pairs: list[KeyPair]) -> PrepareCert:
+    h = digest_of("cb-block", 1)
+    digest = store_digest(3, h, 3)
+    sigs = tuple(pairs[i].sign(digest) for i in range(_QUORUM))
+    return PrepareCert(stored_view=3, block_hash=h, prop_view=3, sigs=sigs)
+
+
+def bench_qc_verify_cold(n: int = 2_000) -> BenchMetric:
+    """Quorum-certificate verification, memos disabled: f+1 signature
+    checks plus the structural (distinct-signer) pass, every time."""
+    ring, pairs = _keyring()
+    cert = _quorum_cert(pairs)
+    prev = memo.set_enabled(False)
+    try:
+        start = time.perf_counter()
+        for _ in range(n):
+            cert.verify(ring, _QUORUM)
+        elapsed = time.perf_counter() - start
+    finally:
+        memo.set_enabled(prev)
+    return BenchMetric("qc_verify_cold_per_sec", n / elapsed, "certs/s")
+
+
+def bench_qc_verify_warm(n: int = 200_000) -> BenchMetric:
+    """Quorum-certificate re-verification: the instance memo answers."""
+    ring, pairs = _keyring()
+    cert = _quorum_cert(pairs)
+    cert.verify(ring, _QUORUM)  # populate the instance memo
+    start = time.perf_counter()
+    for _ in range(n):
+        cert.verify(ring, _QUORUM)
+    elapsed = time.perf_counter() - start
+    return BenchMetric("qc_verify_warm_per_sec", n / elapsed, "certs/s")
+
+
+def bench_nv_verify(n: int = 100_000) -> BenchMetric:
+    """New-view-certificate re-verification (store cert + inner qc +
+    Def. 6 consistency), served warm from the instance memo."""
+    ring, pairs = _keyring()
+    h = digest_of("cb-block", 1)
+    store = StoreCert(
+        stored_view=5, block_hash=h, prop_view=4,
+        sig=pairs[0].sign(store_digest(5, h, 4)),
+    )
+    qc_digest = store_digest(4, h, 4)
+    qc = PrepareCert(
+        stored_view=4, block_hash=h, prop_view=4,
+        sigs=tuple(pairs[i].sign(qc_digest) for i in range(_QUORUM)),
+    )
+    nv = NewViewCert(block=None, store=store, qc=qc)
+    if not verify_new_view(nv, ring, _QUORUM):  # pragma: no cover - guard
+        raise RuntimeError("bench fixture must be a valid nv certificate")
+    start = time.perf_counter()
+    for _ in range(n):
+        verify_new_view(nv, ring, _QUORUM)
+    elapsed = time.perf_counter() - start
+    return BenchMetric("nv_verify_warm_per_sec", n / elapsed, "certs/s")
+
+
+def _checker(ring: KeyRing, pairs: list[KeyPair]) -> Checker:
+    return Checker(
+        owner=0,
+        keypair=pairs[0],
+        ring=ring,
+        crypto_costs=FREE,
+        tee_costs=TeeCostModel(),
+        leader_of=lambda v: 0,
+    )
+
+
+def bench_vote_ecalls(n: int = 20_000) -> BenchMetric:
+    """Deliver-phase voting, one ecall per vote (the unbatched path)."""
+    ring, pairs = _keyring()
+    checker = _checker(ring, pairs)
+    hashes = [digest_of("cb-vote", i) for i in range(n)]
+    start = time.perf_counter()
+    for h in hashes:
+        checker.tee_vote(h)
+    elapsed = time.perf_counter() - start
+    return BenchMetric("vote_ecalls_per_sec", n / elapsed, "votes/s")
+
+
+def bench_vote_batch_ecalls(n: int = 20_000, batch: int = 64) -> BenchMetric:
+    """Deliver-phase voting through ``tee_vote_batch``: one trusted
+    transition per ``batch`` votes instead of one per vote."""
+    ring, pairs = _keyring()
+    checker = _checker(ring, pairs)
+    hashes = [digest_of("cb-vote", i) for i in range(n)]
+    start = time.perf_counter()
+    for i in range(0, n, batch):
+        checker.tee_vote_batch(hashes[i : i + batch])
+    elapsed = time.perf_counter() - start
+    return BenchMetric("vote_batch_ecalls_per_sec", n / elapsed, "votes/s")
+
+
+def run_crypto_bench(quick: bool = False) -> BenchReport:
+    """Run every crypto microbench; ``quick`` shrinks iteration counts
+    for smoke tests (rates stay comparable, noise grows).
+
+    ``warm_verify_speedup`` is derived from the measured cold and warm
+    single-signature rates: it is the factor by which the verified-
+    signature memo beats a from-scratch check.
+    """
+    scale = 10 if quick else 1
+    report = BenchReport(name="crypto")
+    report.add(bench_sign(20_000 // scale))
+    cold = bench_verify_cold(20_000 // scale)
+    warm = bench_verify_warm(200_000 // scale)
+    report.add(cold)
+    report.add(warm)
+    report.add(
+        BenchMetric("warm_verify_speedup", warm.value / cold.value, "x")
+    )
+    report.add(bench_qc_verify_cold(2_000 // scale))
+    report.add(bench_qc_verify_warm(200_000 // scale))
+    report.add(bench_nv_verify(100_000 // scale))
+    report.add(bench_vote_ecalls(20_000 // scale))
+    report.add(bench_vote_batch_ecalls(20_000 // scale))
+    return report
+
+
+__all__ = [
+    "bench_sign",
+    "bench_verify_cold",
+    "bench_verify_warm",
+    "bench_qc_verify_cold",
+    "bench_qc_verify_warm",
+    "bench_nv_verify",
+    "bench_vote_ecalls",
+    "bench_vote_batch_ecalls",
+    "run_crypto_bench",
+]

@@ -13,6 +13,7 @@ Examples::
     oneshot-repro timeline --protocol damysus --views 3 5
     oneshot-repro sweep --grid fig7 --workers 4
     oneshot-repro bench --tolerance 0.25
+    oneshot-repro bench --suite crypto
     oneshot-repro lint --format json
 """
 
@@ -193,7 +194,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark regression gate (docs/BENCHMARKS in README).
 
-    Runs the kernel microbenches and one e2e consensus run, compares
+    Runs the selected suites (kernel microbenches, one e2e consensus
+    run, and/or the crypto verification-fast-path benches), compares
     against the recorded baselines and rewrites them when healthy.
 
     Exit code contract: 0 = within tolerance (baseline JSONs written),
@@ -208,6 +210,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         compare,
         regressions,
         render_report,
+        run_crypto_bench,
         run_e2e_bench,
         run_kernel_bench,
     )
@@ -220,8 +223,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 2
 
+    runners = {
+        "kernel": run_kernel_bench,
+        "e2e": run_e2e_bench,
+        "crypto": run_crypto_bench,
+    }
+    suites = list(runners) if args.suite == "all" else [args.suite]
+
     failed = False
-    for report in (run_kernel_bench(quick=args.quick), run_e2e_bench(quick=args.quick)):
+    for report in (runners[s](quick=args.quick) for s in suites):
         path = out_dir / f"BENCH_{report.name}.json"
         deltas = None
         if path.is_file():
@@ -358,12 +368,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
-        "bench", help="kernel + e2e benchmarks with regression gate"
+        "bench", help="kernel + e2e + crypto benchmarks with regression gate"
     )
     p.add_argument(
         "--quick",
         action="store_true",
         help="shrink iteration counts (smoke tests; noisier rates)",
+    )
+    p.add_argument(
+        "--suite",
+        default="all",
+        choices=["kernel", "e2e", "crypto", "all"],
+        help="which bench suite to run (default: all)",
     )
     p.add_argument(
         "--tolerance",
@@ -374,7 +390,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output-dir",
         default=".",
-        help="directory holding BENCH_kernel.json / BENCH_e2e.json",
+        help="directory holding the BENCH_<suite>.json baselines",
     )
     p.set_defaults(func=_cmd_bench)
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..crypto import Digest, KeyRing, Signature, digest_of
+from ..crypto.memo import record_valid, seen_valid
 from ..smr import GENESIS, Block
 
 #: Phase labels of the CHECKER counter.
@@ -138,10 +139,15 @@ class PrepareCert:
     def verify(self, ring: KeyRing, quorum: int) -> bool:
         if self.is_genesis:
             return True
+        if seen_valid(self, ring, quorum):
+            return True
         if len(set(self.signer_ids())) < quorum:
             return False
         digest = store_digest(self.stored_view, self.block_hash, self.prop_view)
-        return ring.verify_all(digest, list(self.sigs))
+        if not ring.verify_all(digest, self.sigs):
+            return False
+        record_valid(self, ring, quorum)
+        return True
 
     def wire_size(self) -> int:
         return 48 + SIG_BYTES * len(self.sigs)
@@ -183,11 +189,14 @@ class VoteCert:
         return tuple(s.signer for s in self.sigs)
 
     def verify(self, ring: KeyRing, quorum: int) -> bool:
+        if seen_valid(self, ring, quorum):
+            return True
         if len(set(self.signer_ids())) < quorum:
             return False
-        return ring.verify_all(
-            vote_digest(self.block_hash, self.view), list(self.sigs)
-        )
+        if not ring.verify_all(vote_digest(self.block_hash, self.view), self.sigs):
+            return False
+        record_valid(self, ring, quorum)
+        return True
 
     def wire_size(self) -> int:
         return 40 + SIG_BYTES * len(self.sigs)
@@ -214,12 +223,17 @@ class Accumulator:
 
     def is_valid(self, ring: KeyRing, quorum: int) -> bool:
         """Def. 5 validity: correct signature + f+1 unique ids."""
+        if seen_valid(self, ring, quorum):
+            return True
         if len(set(self.ids)) < quorum:
             return False
-        return ring.verify(
+        ok = ring.verify(
             accumulator_digest(self.certified, self.view, self.block_hash, self.ids),
             self.sig,
         )
+        if ok:
+            record_valid(self, ring, quorum)
+        return ok
 
     def wire_size(self) -> int:
         return 48 + 4 * len(self.ids) + SIG_BYTES
@@ -260,7 +274,16 @@ def verify_qc(qc: QuorumCert, ring: KeyRing, quorum: int) -> bool:
 
 
 def qc_verify_cost_sigs(qc: QuorumCert) -> int:
-    """How many individual signature checks verifying ``qc`` costs."""
+    """How many individual signature checks verifying ``qc`` costs.
+
+    This is *simulated* cost: the number of ECDSA verifications the
+    modeled hardware performs, charged to the replica's CPU before
+    ``verify`` is called.  The wall-clock verification memos
+    (:mod:`repro.crypto.memo`) intentionally do **not** reduce it — a
+    real replica cannot skip a signature check just because another
+    replica already did it, so the charge depends only on the
+    certificate's shape, never on cache state.
+    """
     if isinstance(qc, Accumulator):
         return 1
     if isinstance(qc, PrepareCert) and qc.is_genesis:
@@ -317,7 +340,15 @@ def verify_new_view(nv: NewViewCert, ring: KeyRing, quorum: int) -> bool:
     extends the qc's block at the proposal view (timeout after an
     undecided proposal, l.31), or the qc certifies the stored block
     itself (timeout after a decision, l.45).
+
+    The full check is memoized on the (frozen) instance per
+    ``(ring, quorum)``: the next leader and every deliver-phase replica
+    receive the same certificate object, so it is checked once, not
+    once per receiver.  Simulated cost is unaffected — callers charge
+    :func:`nv_verify_cost_sigs` regardless.
     """
+    if seen_valid(nv, ring, quorum):
+        return True
     if not nv.store.verify(ring):
         return False
     if not verify_qc(nv.qc, ring, quorum):
@@ -338,11 +369,18 @@ def verify_new_view(nv: NewViewCert, ring: KeyRing, quorum: int) -> bool:
             return False
     if nv.block is not None and nv.block.hash != nv.store.block_hash:
         return False
+    record_valid(nv, ring, quorum)
     return True
 
 
 def nv_verify_cost_sigs(nv: NewView) -> int:
-    """Signature checks needed to verify a new-view certificate."""
+    """Signature checks needed to verify a new-view certificate.
+
+    Like :func:`qc_verify_cost_sigs`, this reports *simulated*
+    signature-check cost — a pure function of the certificate's shape,
+    charged in full whether or not the wall-clock verification memo
+    hits (see :mod:`repro.crypto.memo`).
+    """
     if isinstance(nv, PrepareCert):
         return qc_verify_cost_sigs(nv)
     return 1 + qc_verify_cost_sigs(nv.qc)

@@ -5,11 +5,14 @@ rings (:mod:`repro.crypto.keys`), and the t2.micro-calibrated CPU cost
 model (:mod:`repro.crypto.costs`).
 """
 
+from . import memo
 from .costs import FREE, T2_MICRO, CryptoCostModel
 from .hashing import GENESIS_DIGEST, Digest, digest_of, encode, sha256, short
-from .keys import KeyPair, KeyRing, PublicKey, Signature
+from .keys import SIG_MEMO_CAPACITY, KeyPair, KeyRing, PublicKey, Signature
 
 __all__ = [
+    "memo",
+    "SIG_MEMO_CAPACITY",
     "FREE",
     "T2_MICRO",
     "CryptoCostModel",

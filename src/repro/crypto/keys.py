@@ -16,8 +16,17 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass
+from typing import Iterable
 
+from . import memo as _memo
 from .hashing import Digest
+
+#: Default bound on a :class:`KeyRing`'s verified-signature memo.  At
+#: ~100 bytes per entry this caps the memo near 6 MB; eviction is
+#: FIFO (oldest first), which for consensus traffic — signatures are
+#: re-verified within a few views of first sight — behaves like LRU
+#: without per-hit bookkeeping.
+SIG_MEMO_CAPACITY = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -89,10 +98,25 @@ class PublicKey:
 
 
 class KeyRing:
-    """The set of public keys known to a party (replica, TEE, client)."""
+    """The set of public keys known to a party (replica, TEE, client).
 
-    def __init__(self) -> None:
+    Verification results are memoized: a ``(signer, digest, tag)``
+    triple that has HMAC-verified once is accepted from the memo on
+    every later sight (the triple *is* the statement being proved, so
+    a hit is sound by construction — any tampering with the tag, the
+    signed bytes, or the claimed signer changes the key and misses).
+    Only successes are cached; the memo is bounded by
+    ``memo_capacity`` with FIFO eviction, and an evicted signature
+    simply re-verifies cold.  Wall-clock work is all the memo elides —
+    simulated verification cost is charged by callers from the
+    certificate's shape, memo hit or miss (see :mod:`repro.crypto.memo`).
+    """
+
+    def __init__(self, memo_capacity: int = SIG_MEMO_CAPACITY) -> None:
         self._keys: dict[int, PublicKey] = {}
+        #: Verified (signer, digest, tag) triples, insertion-ordered.
+        self._verified: dict[tuple[int, Digest, bytes], None] = {}
+        self._capacity = memo_capacity
 
     def add(self, pk: PublicKey) -> None:
         self._keys[pk.owner] = pk
@@ -103,14 +127,40 @@ class KeyRing:
     def __len__(self) -> int:
         return len(self._keys)
 
+    @property
+    def memo_size(self) -> int:
+        """Number of verified-signature memo entries currently held."""
+        return len(self._verified)
+
+    @property
+    def memo_capacity(self) -> int:
+        return self._capacity
+
     def verify(self, data: Digest, sig: Signature) -> bool:
         """Verify ``sig`` over ``data`` against the signer's public key."""
+        key = (sig.signer, data, sig.tag)
+        memo = self._verified
+        if key in memo and _memo.enabled():
+            return True
         pk = self._keys.get(sig.signer)
-        return pk is not None and pk.verify(data, sig)
+        if pk is None or not pk.verify(data, sig):
+            return False
+        if self._capacity > 0 and _memo.enabled():
+            if len(memo) >= self._capacity:
+                memo.pop(next(iter(memo)))
+            memo[key] = None
+        return True
 
-    def verify_all(self, data: Digest, sigs: list[Signature]) -> bool:
-        """Verify a multi-signature list over the same data."""
-        return all(self.verify(data, s) for s in sigs)
+    def verify_all(self, data: Digest, sigs: Iterable[Signature]) -> bool:
+        """Verify a multi-signature over the same data.
+
+        Accepts any iterable, consumes it in a single pass without
+        materializing a copy, and short-circuits on the first failure.
+        """
+        for s in sigs:
+            if not self.verify(data, s):
+                return False
+        return True
 
 
-__all__ = ["Signature", "KeyPair", "PublicKey", "KeyRing"]
+__all__ = ["Signature", "KeyPair", "PublicKey", "KeyRing", "SIG_MEMO_CAPACITY"]

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ...crypto import Digest, KeyRing, Signature, digest_of
+from ...crypto.memo import record_valid, seen_valid
 
 #: Vote phases.
 PREPARE = "prepare"
@@ -118,10 +119,15 @@ class DamCert:
         return tuple(s.signer for s in self.sigs)
 
     def verify(self, ring: KeyRing, quorum: int) -> bool:
+        if seen_valid(self, ring, quorum):
+            return True
         if len(set(self.signer_ids())) < quorum:
             return False
         digest = vote_digest(self.block_hash, self.view, self.phase)
-        return ring.verify_all(digest, list(self.sigs))
+        if not ring.verify_all(digest, self.sigs):
+            return False
+        record_valid(self, ring, quorum)
+        return True
 
     def wire_size(self) -> int:
         return 48 + 64 * len(self.sigs)

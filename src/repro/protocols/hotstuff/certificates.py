@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...crypto import Digest, KeyRing, Signature, digest_of
+from ...crypto.memo import record_valid, seen_valid
 from ...smr import GENESIS
 
 #: HotStuff phases.
@@ -62,10 +63,15 @@ class HsQC:
     def verify(self, ring: KeyRing, quorum: int) -> bool:
         if self.is_genesis:
             return True
+        if seen_valid(self, ring, quorum):
+            return True
         if len(set(self.signer_ids())) < quorum:
             return False
         digest = hs_vote_digest(self.phase, self.view, self.block_hash)
-        return ring.verify_all(digest, list(self.sigs))
+        if not ring.verify_all(digest, self.sigs):
+            return False
+        record_valid(self, ring, quorum)
+        return True
 
     def wire_size(self) -> int:
         return 48 + 64 * len(self.sigs)

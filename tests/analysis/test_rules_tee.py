@@ -76,3 +76,21 @@ def test_public_entry_points_are_fine():
 
 def test_unrelated_private_attrs_are_fine():
     assert lint("def f(self):\n    return self._keys\n") == []
+
+
+# -- fast-path additions (PR 3) ----------------------------------------
+def test_flags_batched_sign_outside_enclave():
+    assert lint("def attack(e, ds):\n    return e._sign_batch(ds)\n")
+
+
+def test_flags_raw_secret_access():
+    findings = lint("def attack(kp):\n    return kp._secret\n")
+    assert len(findings) == 1
+    assert "_secret" in findings[0].message
+    assert lint("def attack(pk, d, s):\n    return pk._check_tag(d, s)\n")
+    assert lint("def attack(pk):\n    return pk._kp\n")
+
+
+def test_keys_module_is_the_trusted_secret_holder():
+    src = "def _check_tag(self, d, t):\n    return self._kp is not None\n"
+    assert lint(src, path="repro/crypto/keys.py") == []

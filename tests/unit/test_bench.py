@@ -157,3 +157,41 @@ def test_cli_bench_regression_exits_nonzero(tmp_path):
 def test_cli_bench_bad_output_dir_exits_2(tmp_path):
     missing = str(tmp_path / "does-not-exist")
     assert main(["bench", "--quick", "--output-dir", missing]) == 2
+
+
+def test_cli_bench_crypto_suite_smoke(tmp_path):
+    """``--suite crypto`` runs only the crypto tier: it writes
+    BENCH_crypto.json (with the derived warm-verify speedup metric) and
+    leaves the kernel/e2e baselines alone."""
+    out = str(tmp_path)
+    assert main(["bench", "--quick", "--suite", "crypto", "--output-dir", out]) == 0
+    crypto = BenchReport.load(tmp_path / "BENCH_crypto.json")
+    assert {
+        "sign_per_sec",
+        "verify_cold_per_sec",
+        "verify_warm_per_sec",
+        "warm_verify_speedup",
+    } <= set(crypto.metrics)
+    assert crypto.metrics["warm_verify_speedup"].value >= 2.0
+    assert not (tmp_path / "BENCH_kernel.json").exists()
+    assert not (tmp_path / "BENCH_e2e.json").exists()
+
+
+def test_cli_bench_crypto_regression_exits_nonzero(tmp_path):
+    impossible = _report(
+        "crypto",
+        sign_per_sec=1e15,
+        verify_cold_per_sec=1e15,
+        verify_warm_per_sec=1e15,
+        qc_verify_cold_per_sec=1e15,
+        qc_verify_warm_per_sec=1e15,
+        nv_verify_warm_per_sec=1e15,
+        vote_ecalls_per_sec=1e15,
+        vote_batch_ecalls_per_sec=1e15,
+        warm_verify_speedup=1e15,
+    )
+    path = tmp_path / "BENCH_crypto.json"
+    impossible.write(path)
+    before = path.read_text()
+    assert main(["bench", "--quick", "--suite", "crypto", "--output-dir", str(tmp_path)]) == 1
+    assert path.read_text() == before

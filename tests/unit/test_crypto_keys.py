@@ -89,3 +89,60 @@ def test_public_key_cannot_sign(ring_and_keys):
     pk = pairs[0].public()
     assert not hasattr(pk, "sign")
     assert not hasattr(pk, "_secret")
+
+
+# ----------------------------------------------------------------------
+# verify_all: iterable input, short-circuit, no copies
+# ----------------------------------------------------------------------
+def test_verify_all_accepts_any_iterable(ring_and_keys):
+    ring, pairs = ring_and_keys
+    d = digest_of("gen")
+    assert ring.verify_all(d, (kp.sign(d) for kp in pairs))  # a generator
+    assert ring.verify_all(d, tuple(kp.sign(d) for kp in pairs))
+
+
+def test_verify_all_short_circuits_on_first_failure(ring_and_keys):
+    ring, pairs = ring_and_keys
+    d = digest_of("short")
+    consumed = []
+
+    def sigs():
+        for i, s in enumerate(
+            [Signature(0, b"\x00" * 32)] + [kp.sign(d) for kp in pairs]
+        ):
+            consumed.append(i)
+            yield s
+
+    assert not ring.verify_all(d, sigs())
+    assert consumed == [0]  # stopped at the first bad signature
+
+
+def test_verify_all_empty_iterable_is_vacuously_true(ring_and_keys):
+    ring, _ = ring_and_keys
+    assert ring.verify_all(digest_of("empty"), [])
+
+
+# ----------------------------------------------------------------------
+# the verified-signature memo
+# ----------------------------------------------------------------------
+def test_successful_verify_populates_memo(ring_and_keys):
+    ring, pairs = ring_and_keys
+    d = digest_of("memo")
+    assert ring.memo_size == 0
+    assert ring.verify(d, pairs[0].sign(d))
+    assert ring.memo_size == 1
+    assert ring.verify(d, pairs[0].sign(d))  # warm hit, no growth
+    assert ring.memo_size == 1
+
+
+def test_failed_verify_leaves_memo_untouched(ring_and_keys):
+    ring, _ = ring_and_keys
+    assert not ring.verify(digest_of("memo"), Signature(0, b"\x00" * 32))
+    assert ring.memo_size == 0
+
+
+def test_memo_capacity_is_configurable():
+    from repro.crypto import SIG_MEMO_CAPACITY
+
+    assert KeyRing().memo_capacity == SIG_MEMO_CAPACITY
+    assert KeyRing(memo_capacity=7).memo_capacity == 7

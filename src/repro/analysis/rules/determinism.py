@@ -20,6 +20,14 @@ This rule bans, outside an allow-listed set of modules:
 
 ``numpy.random.Generator`` *annotations* are fine — only calls and
 imports are flagged.
+
+The rule also guards the network fast path: inside :mod:`repro.net`
+(except the latency models themselves), a scalar ``.sample()`` call
+inside a loop or comprehension is flagged — per-destination scalar
+sampling both costs the multicast fast path its batching and makes the
+RNG draw order depend on control flow.  Batch through
+``LatencyModel.sample_many`` / ``sample_per_link`` instead (see
+docs/invariants.md).
 """
 
 from __future__ import annotations
@@ -61,6 +69,24 @@ BANNED_MODULES: tuple[str, ...] = ("random", "secrets")
 #: Modules allowed to construct generators: the registry itself.
 DEFAULT_ALLOWED: tuple[str, ...] = ("repro/sim/rng.py",)
 
+#: Subtree where per-destination scalar ``.sample()`` loops are flagged.
+SCALAR_SAMPLE_PATHS: tuple[str, ...] = ("repro/net/",)
+
+#: Modules inside that subtree allowed to loop over scalar ``sample``:
+#: the latency models' own batch fallback (``sample_per_link``).
+SCALAR_SAMPLE_ALLOWED: tuple[str, ...] = ("repro/net/latency.py",)
+
+#: AST nodes that repeat their body/element expression.
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
 
 class DeterminismRule(Rule):
     """No ambient randomness or wall-clock outside the RNG registry."""
@@ -76,6 +102,10 @@ class DeterminismRule(Rule):
         self.allowed = tuple(allowed)
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.matches_any(SCALAR_SAMPLE_PATHS) and not module.matches_any(
+            SCALAR_SAMPLE_ALLOWED
+        ):
+            yield from self._scalar_sample_loops(module)
         if module.matches_any(self.allowed):
             return
         imports = ImportMap.of(module.tree)
@@ -116,6 +146,37 @@ class DeterminismRule(Rule):
                         f"RngRegistry instead",
                     )
 
+    def _scalar_sample_loops(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Flag ``<model>.sample(...)`` repeated by a loop/comprehension.
+
+        Inside :mod:`repro.net` a per-destination scalar sampling loop
+        defeats the vectorized multicast fast path *and* couples the
+        RNG draw order to control flow — the batch APIs
+        (``sample_many`` / ``sample_per_link``) keep draw order a
+        function of the destination vector alone.
+        """
+        seen: set[int] = set()
+        for loop in ast.walk(module.tree):
+            if not isinstance(loop, _LOOP_NODES):
+                continue
+            for node in ast.walk(loop):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sample"
+                    # Nested loops are walked as their own roots too —
+                    # report each call site once.
+                    and id(node) not in seen
+                ):
+                    seen.add(id(node))
+                    yield self.finding(
+                        module,
+                        node,
+                        "scalar latency .sample() inside a loop — batch "
+                        "through LatencyModel.sample_many / sample_per_link "
+                        "so the multicast draw order stays vectorizable",
+                    )
+
 
 __all__ = [
     "DeterminismRule",
@@ -123,4 +184,6 @@ __all__ = [
     "BANNED_PREFIXES",
     "BANNED_MODULES",
     "DEFAULT_ALLOWED",
+    "SCALAR_SAMPLE_PATHS",
+    "SCALAR_SAMPLE_ALLOWED",
 ]

@@ -1,12 +1,13 @@
 """Benchmark regression harness (``oneshot-repro bench``).
 
 Times the simulation kernel's hot paths (:mod:`repro.bench.kernel`),
-one end-to-end consensus run (:mod:`repro.bench.e2e`) and the crypto
-verification fast path (:mod:`repro.bench.crypto`), compares the rates
+one end-to-end consensus run (:mod:`repro.bench.e2e`), the crypto
+verification fast path (:mod:`repro.bench.crypto`) and the network
+multicast fast path (:mod:`repro.bench.net`), compares the rates
 against the recorded baselines (``BENCH_kernel.json`` /
-``BENCH_e2e.json`` / ``BENCH_crypto.json``) and fails on regressions
-beyond a tolerance — see :mod:`repro.bench.harness` for the report
-model and exit contract.
+``BENCH_e2e.json`` / ``BENCH_crypto.json`` / ``BENCH_net.json``) and
+fails on regressions beyond a tolerance — see
+:mod:`repro.bench.harness` for the report model and exit contract.
 """
 
 from .crypto import run_crypto_bench
@@ -22,6 +23,7 @@ from .harness import (
     render_report,
 )
 from .kernel import run_kernel_bench
+from .net import run_net_bench
 
 __all__ = [
     "DEFAULT_TOLERANCE",
@@ -35,4 +37,5 @@ __all__ = [
     "run_crypto_bench",
     "run_e2e_bench",
     "run_kernel_bench",
+    "run_net_bench",
 ]

@@ -1,0 +1,182 @@
+"""Network microbenchmarks: the multicast fast path in isolation.
+
+Every decided block costs ``O(n)`` broadcasts per phase, so after the
+kernel and crypto fast paths the simulated network fabric is the
+dominant wall-clock cost of the e2e tier.  This tier times the pieces
+the network fast path targets — vectorized multicast fan-out vs the
+scalar per-destination loop, FIFO-link fan-out, topology-jitter batch
+sampling, and bulk event scheduling — and derives the speedup gate
+``multicast_fastpath_speedup`` (fast path over scalar reference).
+
+This module (like :mod:`repro.bench.kernel`) is one of the few places
+allowed to read the wall clock: elapsed real time *is* the
+measurement, so the determinism lint rule is suppressed for it in
+``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..net import Network, UniformLatency
+from ..net.latency import TopologyLatency
+from ..net.message import HEADER_BYTES, payload_size
+from ..net.regions import WORLD11
+from ..sim import Process, Simulator
+from .harness import BenchMetric, BenchReport
+
+
+class _Sink(Process):
+    """Message sink for the fan-out benches."""
+
+    def on_message(self, sender: int, payload: object) -> None:
+        pass
+
+
+def _fanout_net(n: int, seed: int = 1, **kwargs) -> tuple[Simulator, Network]:
+    sim = Simulator(seed=seed)
+    network = Network(sim, **kwargs)
+    for pid in range(n):
+        network.register(_Sink(sim, pid))
+    return sim, network
+
+
+def bench_multicast_fast(rounds: int = 1_000, n: int = 61) -> BenchMetric:
+    """Leader-broadcast fan-out through the vectorized multicast path
+    (batched sampling, bulk ``schedule_many`` insert).
+
+    Only the fan-out itself is timed: deliveries are drained between
+    rounds *outside* the timed window, because the delivery side is
+    byte-for-byte the same work in the fast and scalar variants and
+    would only dilute the ratio this microbench gates on.  The default
+    ``n=61`` is a 3f+1 deployment with f=20 — the batch amortization
+    the fast path exists for shows at the paper's larger scales.
+    """
+    sim, network = _fanout_net(n)
+    dsts = tuple(range(1, n))
+    payload = "bench-payload"
+    elapsed = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        network.multicast(0, dsts, payload)
+        elapsed += time.perf_counter() - start
+        sim.run()
+    return BenchMetric(
+        "multicast_fast_sends_per_sec", rounds * len(dsts) / elapsed, "sends/s"
+    )
+
+
+def bench_multicast_scalar(rounds: int = 1_000, n: int = 61) -> BenchMetric:
+    """The same fan-out through the pre-fast-path scalar reference: one
+    :meth:`Network._send_one` call per destination (payload sized once
+    per round, exactly the old ``multicast`` body).  Timed like
+    :func:`bench_multicast_fast` — fan-out only, drain untimed."""
+    sim, network = _fanout_net(n)
+    dsts = tuple(range(1, n))
+    payload = "bench-payload"
+    elapsed = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        size = payload_size(payload) + HEADER_BYTES
+        now = sim.now
+        send_one = network._send_one
+        for dst in dsts:
+            send_one(0, dst, payload, size, now)
+        elapsed += time.perf_counter() - start
+        sim.run()
+    return BenchMetric(
+        "multicast_scalar_sends_per_sec", rounds * len(dsts) / elapsed, "sends/s"
+    )
+
+
+def bench_fifo_multicast(rounds: int = 1_000, n: int = 61) -> BenchMetric:
+    """Fan-out over jittered FIFO (TCP-style) links: the fast path must
+    keep the per-link clock while batching everything else."""
+    sim, network = _fanout_net(
+        n, latency=UniformLatency(0.001, 0.01), fifo_links=True
+    )
+    dsts = tuple(range(1, n))
+    payload = "bench-payload"
+    elapsed = 0.0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        network.multicast(0, dsts, payload)
+        elapsed += time.perf_counter() - start
+        sim.run()
+    return BenchMetric(
+        "fifo_multicast_sends_per_sec", rounds * len(dsts) / elapsed, "sends/s"
+    )
+
+
+def bench_topology_jitter(batches: int = 2_000, n: int = 33) -> BenchMetric:
+    """Batched log-normal jitter sampling over the world topology: one
+    ``sample_many`` call per multicast-sized destination vector."""
+    model = TopologyLatency(WORLD11, sigma=0.06)
+    sim = Simulator(seed=1)
+    rng = sim.rng.stream("bench.net", purpose="topology jitter bench")
+    dsts = list(range(1, n))
+    start = time.perf_counter()
+    for _ in range(batches):
+        model.sample_many(0, dsts, rng)
+    elapsed = time.perf_counter() - start
+    return BenchMetric(
+        "topology_jitter_samples_per_sec",
+        batches * len(dsts) / elapsed,
+        "samples/s",
+    )
+
+
+def bench_schedule_many(batches: int = 2_000, k: int = 64) -> BenchMetric:
+    """Bulk event insertion: ``schedule_many`` with multicast-sized
+    batches against a busy heap."""
+    sim = Simulator(seed=1)
+
+    def noop(i: int) -> None:
+        pass
+
+    times = [float(i) for i in range(1, k + 1)]
+    argss = [(i,) for i in range(k)]
+    start = time.perf_counter()
+    for _ in range(batches):
+        sim.schedule_many(times, noop, argss)
+        sim.run()
+        times = [t + k for t in times]
+    elapsed = time.perf_counter() - start
+    return BenchMetric(
+        "schedule_many_events_per_sec", batches * k / elapsed, "events/s"
+    )
+
+
+def run_net_bench(quick: bool = False) -> BenchReport:
+    """Run every network microbench; ``quick`` shrinks iteration counts
+    for smoke tests (rates stay comparable, noise grows).
+
+    The derived ``multicast_fastpath_speedup`` metric is the tier's
+    gate: the vectorized multicast path must stay well ahead of the
+    scalar per-destination reference.
+    """
+    scale = 10 if quick else 1
+    report = BenchReport(name="net")
+    fast = bench_multicast_fast(1_000 // scale)
+    scalar = bench_multicast_scalar(1_000 // scale)
+    report.add(fast)
+    report.add(scalar)
+    report.add(
+        BenchMetric(
+            "multicast_fastpath_speedup", fast.value / scalar.value, "x"
+        )
+    )
+    report.add(bench_fifo_multicast(1_000 // scale))
+    report.add(bench_topology_jitter(2_000 // scale))
+    report.add(bench_schedule_many(2_000 // scale))
+    return report
+
+
+__all__ = [
+    "bench_multicast_fast",
+    "bench_multicast_scalar",
+    "bench_fifo_multicast",
+    "bench_topology_jitter",
+    "bench_schedule_many",
+    "run_net_bench",
+]

@@ -14,6 +14,7 @@ Examples::
     oneshot-repro sweep --grid fig7 --workers 4
     oneshot-repro bench --tolerance 0.25
     oneshot-repro bench --suite crypto
+    oneshot-repro bench --suite net
     oneshot-repro lint --format json
 """
 
@@ -195,8 +196,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark regression gate (docs/BENCHMARKS in README).
 
     Runs the selected suites (kernel microbenches, one e2e consensus
-    run, and/or the crypto verification-fast-path benches), compares
-    against the recorded baselines and rewrites them when healthy.
+    run, the crypto verification-fast-path benches, and/or the network
+    multicast-fast-path benches), compares against the recorded
+    baselines and rewrites them when healthy.
 
     Exit code contract: 0 = within tolerance (baseline JSONs written),
     1 = regression beyond ``--tolerance`` (baselines left untouched),
@@ -213,6 +215,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_crypto_bench,
         run_e2e_bench,
         run_kernel_bench,
+        run_net_bench,
     )
 
     out_dir = Path(args.output_dir)
@@ -227,6 +230,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "kernel": run_kernel_bench,
         "e2e": run_e2e_bench,
         "crypto": run_crypto_bench,
+        "net": run_net_bench,
     }
     suites = list(runners) if args.suite == "all" else [args.suite]
 
@@ -368,7 +372,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
-        "bench", help="kernel + e2e + crypto benchmarks with regression gate"
+        "bench", help="kernel + e2e + crypto + net benchmarks with regression gate"
     )
     p.add_argument(
         "--quick",
@@ -378,7 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--suite",
         default="all",
-        choices=["kernel", "e2e", "crypto", "all"],
+        choices=["kernel", "e2e", "crypto", "net", "all"],
         help="which bench suite to run (default: all)",
     )
     p.add_argument(

@@ -69,22 +69,72 @@ def sha256(data: bytes) -> Digest:
     return hashlib.sha256(data).digest()
 
 
+#: Sentinels standing in for True/False in memo keys.  ``True == 1``
+#: and ``False == 0`` in Python, so a raw field tuple is NOT an
+#: injective cache key even though the canonical *encoding* is (bools
+#: get the ``B`` tag, ints the ``I`` tag): ``(0,)`` and ``(False,)``
+#: would share one memo slot and one of them would get the other's
+#: digest back.  The sentinels compare equal only to themselves.
+_TRUE_KEY = object()
+_FALSE_KEY = object()
+
+
+def _contains_bool(fields: tuple) -> bool:
+    """Whether a bool lurks anywhere in the (nested) field tuple.
+
+    ``bool`` cannot be subclassed, so ``type(y) is bool`` is complete;
+    tuple subclasses (NamedTuples) are walked via ``isinstance``.
+    """
+    for y in fields:
+        t = y.__class__
+        if t is bool:
+            return True
+        if t is int or t is str or t is bytes or y is None:
+            continue
+        if isinstance(y, tuple) and _contains_bool(y):
+            return True
+    return False
+
+
+def _substitute_bools(x: Any) -> Any:
+    """Rebuild ``x`` with bools replaced by the sentinels."""
+    t = type(x)
+    if t is bool:
+        return _TRUE_KEY if x else _FALSE_KEY
+    if t is tuple or isinstance(x, tuple):
+        return tuple(_substitute_bools(y) for y in x)
+    return x
+
+
 @lru_cache(maxsize=1 << 16)
 def _digest_of_hashable(fields: tuple) -> Digest:
-    """Memoized digest of a hashable field tuple.
+    """Memoized digest of a *bool-free* hashable field tuple.
 
     Certificates and votes are verified many times per view but their
     signed-content digests never change; caching here means each
     distinct field tuple is encoded and hashed once per process, not
-    once per verification.  Purely a speed memo — the function is a
-    pure map, so cached and fresh results are bit-identical.
+    once per verification.  Keying on ``fields`` directly is injective
+    only because callers route every tuple containing a bool to
+    :func:`_digest_of_disambiguated` instead (``False == 0`` would
+    otherwise share a slot with a differently-encoded tuple).  Purely
+    a speed memo — the function is a pure map, so cached and fresh
+    results are bit-identical.
     """
+    return sha256(encode(fields))
+
+
+@lru_cache(maxsize=1 << 16)
+def _digest_of_disambiguated(key: tuple, fields: tuple) -> Digest:
+    """Memo for field tuples that contain bools, keyed on the
+    sentinel-substituted form (see :func:`_substitute_bools`)."""
     return sha256(encode(fields))
 
 
 def digest_of(*fields: Any) -> Digest:
     """SHA-256 over the canonical encoding of a field tuple."""
     try:
+        if _contains_bool(fields):
+            return _digest_of_disambiguated(_substitute_bools(fields), fields)
         return _digest_of_hashable(fields)
     except TypeError:  # some field is unhashable (e.g. a list)
         return sha256(encode(fields))

@@ -2,7 +2,13 @@
 reliable partially-synchronous message fabric."""
 
 from .conditions import degrade_window, isolate_node, remove_hook, slow_node
-from .latency import ConstantLatency, LatencyModel, TopologyLatency, UniformLatency
+from .latency import (
+    ConstantLatency,
+    LatencyModel,
+    TopologyLatency,
+    UniformLatency,
+    sample_per_link,
+)
 from .message import HEADER_BYTES, Envelope, payload_size
 from .network import DEFAULT_BANDWIDTH_BPS, Network
 from .regions import EU4, LOCAL, TOPOLOGIES, US4, WORLD11, Topology, rtt_ms
@@ -16,6 +22,7 @@ __all__ = [
     "LatencyModel",
     "TopologyLatency",
     "UniformLatency",
+    "sample_per_link",
     "HEADER_BYTES",
     "Envelope",
     "payload_size",

@@ -4,12 +4,34 @@ A latency model maps a (src, dst) node pair to a one-way propagation
 delay sample.  Deployment experiments use :class:`TopologyLatency`
 (region RTT matrix halved, with multiplicative log-normal jitter);
 logic tests use :class:`ConstantLatency`.
+
+Vectorized sampling contract
+----------------------------
+
+Models may additionally expose ``sample_many(src, dsts, rng)``: one
+batched draw covering a whole multicast, returning a list of delays
+aligned with ``dsts``.  The contract — relied on by the golden-run
+fingerprints — is *stream identity* with the scalar path:
+
+* loopback entries (``dst == src``) consume **no** RNG draws and get
+  the model's loopback delay;
+* every other entry consumes exactly the draws the scalar
+  :meth:`LatencyModel.sample` call would, in destination order, so a
+  batched draw of ``k`` remote destinations advances ``rng`` by the
+  same state transition as ``k`` scalar calls (numpy ``Generator``
+  fills batched ``uniform``/``normal`` requests element-by-element
+  from the same bit stream).
+
+A model that cannot satisfy stream identity must simply not define
+``sample_many``; :func:`sample_per_link` is the sanctioned per-link
+loop the network falls back to (the determinism lint flags ad-hoc
+``latency.sample`` loops inside :mod:`repro.net` instead).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Protocol
+from typing import Protocol, Sequence
 
 import numpy as np
 
@@ -24,6 +46,24 @@ class LatencyModel(Protocol):
         ...
 
 
+def sample_per_link(
+    model: LatencyModel,
+    src: int,
+    dsts: Sequence[int],
+    rng: np.random.Generator,
+) -> list[float]:
+    """Per-link fallback for models without ``sample_many``.
+
+    Mirrors the network's scalar send loop exactly: one
+    :meth:`LatencyModel.sample` call per remote destination, in
+    destination order, and **no** call for loopback entries (whose
+    returned slot is 0.0 — the network overrides loopback delivery and
+    never reads it).
+    """
+    sample = model.sample
+    return [0.0 if dst == src else sample(src, dst, rng) for dst in dsts]
+
+
 class ConstantLatency:
     """Fixed one-way delay between every pair of distinct nodes."""
 
@@ -35,6 +75,14 @@ class ConstantLatency:
 
     def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
         return self.loopback_s if src == dst else self.delay_s
+
+    def sample_many(
+        self, src: int, dsts: Sequence[int], rng: np.random.Generator
+    ) -> list[float]:
+        """Draw-free: one list build, no RNG interaction at all."""
+        delay = self.delay_s
+        loop = self.loopback_s
+        return [loop if dst == src else delay for dst in dsts]
 
 
 class UniformLatency:
@@ -50,6 +98,24 @@ class UniformLatency:
         if src == dst:
             return 1e-6
         return float(rng.uniform(self.low_s, self.high_s))
+
+    def sample_many(
+        self, src: int, dsts: Sequence[int], rng: np.random.Generator
+    ) -> list[float]:
+        """One batched uniform draw for the remote destinations."""
+        remote = sum(1 for dst in dsts if dst != src)
+        if remote == 0:
+            return [1e-6] * len(dsts)
+        draws = rng.uniform(self.low_s, self.high_s, size=remote)
+        out: list[float] = []
+        i = 0
+        for dst in dsts:
+            if dst == src:
+                out.append(1e-6)
+            else:
+                out.append(float(draws[i]))
+                i += 1
+        return out
 
 
 class TopologyLatency:
@@ -75,9 +141,39 @@ class TopologyLatency:
         jitter = math.exp(rng.normal(0.0, self.sigma))
         return base * jitter
 
+    def sample_many(
+        self, src: int, dsts: Sequence[int], rng: np.random.Generator
+    ) -> list[float]:
+        """One batched normal draw, then per-element ``math.exp``.
+
+        The exponential stays ``math.exp`` (not ``np.exp``) so every
+        delay is bit-identical to the scalar path on any platform —
+        only the *draws* are batched.
+        """
+        one_way = self.topology.one_way_s
+        sigma = self.sigma
+        if sigma == 0.0:
+            return [
+                1e-6 if dst == src else one_way(src, dst) for dst in dsts
+            ]
+        remote = sum(1 for dst in dsts if dst != src)
+        if remote == 0:
+            return [1e-6] * len(dsts)
+        draws = rng.normal(0.0, sigma, size=remote)
+        out: list[float] = []
+        i = 0
+        for dst in dsts:
+            if dst == src:
+                out.append(1e-6)
+            else:
+                out.append(one_way(src, dst) * math.exp(draws[i]))
+                i += 1
+        return out
+
 
 __all__ = [
     "LatencyModel",
+    "sample_per_link",
     "ConstantLatency",
     "UniformLatency",
     "TopologyLatency",

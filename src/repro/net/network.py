@@ -16,11 +16,10 @@ the latency model, plus any condition-injected delay.
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, Iterable, Optional
 
 from ..sim import Nic, Process, Simulator
-from .latency import ConstantLatency, LatencyModel
+from .latency import ConstantLatency, LatencyModel, sample_per_link
 from .message import HEADER_BYTES, Envelope, payload_size
 
 #: A delay hook receives (now, src, dst, size) and returns extra seconds.
@@ -57,7 +56,7 @@ class Network:
         self.fifo_links = fifo_links
         self._procs: dict[int, Process] = {}
         self._nics: dict[int, Nic] = {}
-        self._seq = itertools.count()
+        self._seq = 0
         self._rng = sim.rng.stream("net", purpose="link latency jitter")
         self.delay_hooks: list[DelayHook] = []
         self._link_clock: dict[tuple[int, int], float] = {}
@@ -128,14 +127,9 @@ class Network:
         """
         if dst not in self._procs:
             raise KeyError(f"unknown destination {dst}")
-        env = Envelope(
-            src=src,
-            dst=dst,
-            payload=payload,
-            size=size,
-            send_time=now,
-            seq=next(self._seq),
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        env = Envelope(src, dst, payload, size, now, 0.0, seq)
         if src == dst:
             # Loopback: no NIC occupancy, negligible latency.
             deliver = now + 1e-6
@@ -168,11 +162,98 @@ class Network:
         destination order, so the result (envelopes, NIC occupancy and
         RNG draw sequence) is bit-identical to calling :meth:`send` per
         destination — only cheaper.
+
+        Fast path: when ``_extra_delay`` is provably zero and draw-free
+        (at/after GST or no pre-GST asynchrony, and no delay hooks —
+        the common case), the whole destination vector is sampled in
+        one batched draw (:meth:`LatencyModel.sample_many` where the
+        model provides it), NIC occupancy and delivery times are
+        computed for the batch, and the deliveries enter the event
+        queue through one :meth:`Simulator.schedule_many` bulk insert.
+        Otherwise every destination takes the scalar :meth:`_send_one`
+        path so the latency/extra-delay draw interleaving (part of the
+        reproducibility surface) is preserved exactly.
         """
         size = payload_size(payload) + HEADER_BYTES
         now = self.sim.now
-        send_one = self._send_one
-        return [send_one(src, dst, payload, size, now) for dst in dsts]
+        if self.delay_hooks or (now < self.gst and self.pre_gst_extra > 0):
+            send_one = self._send_one
+            return [send_one(src, dst, payload, size, now) for dst in dsts]
+        return self._multicast_fast(src, list(dsts), payload, size, now)
+
+    def _multicast_fast(
+        self, src: int, dsts: list[int], payload: Any, size: int, now: float
+    ) -> list[Envelope]:
+        """Vectorized fan-out (no extra delay, batched draws).
+
+        Every arithmetic step replays the scalar path's float
+        operations in the same order (NIC completion times by repeated
+        addition, ``ser_end + prop + 0.0``-free delivery sums), so the
+        produced envelopes are bit-identical to :meth:`_send_one` in a
+        loop — proven by the golden fingerprints and the multicast
+        equivalence property tests.
+        """
+        procs = self._procs
+        for dst in dsts:
+            if dst not in procs:
+                # All-or-nothing: reject the whole batch before any RNG
+                # draw, NIC occupancy or scheduling happens.
+                raise KeyError(f"unknown destination {dst}")
+
+        sample_many = getattr(self.latency, "sample_many", None)
+        if sample_many is not None:
+            props = sample_many(src, dsts, self._rng)
+        else:
+            props = sample_per_link(self.latency, src, dsts, self._rng)
+
+        seq = self._seq
+        fifo = self.fifo_links
+        link_clock = self._link_clock
+        nic = self._nics.get(src)
+        # NIC serialization is FIFO repeated addition: copy i completes
+        # at max(now, busy_until) + i * per-copy time, accumulated the
+        # way Resource.occupy would (bit-identical float sums).
+        ser = (size * 8.0) / nic.bandwidth_bps if nic is not None else 0.0
+        ser_end = now if nic is None or nic.busy_until < now else nic.busy_until
+        busy_acc = nic.total_busy if nic is not None else 0.0
+
+        envs: list[Envelope] = []
+        times: list[float] = []
+        argss: list[tuple[Envelope]] = []
+        append_env = envs.append
+        append_time = times.append
+        append_args = argss.append
+        n_remote = 0
+        for dst, prop in zip(dsts, props):
+            env = Envelope(src, dst, payload, size, now, 0.0, seq)
+            seq += 1
+            if src == dst:
+                # Loopback: no NIC occupancy, negligible latency.
+                deliver = now + 1e-6
+            else:
+                ser_end = ser_end + ser
+                busy_acc += ser
+                n_remote += 1
+                deliver = ser_end + prop
+                if fifo:
+                    link = (src, dst)
+                    deliver = max(deliver, link_clock.get(link, 0.0))
+                    link_clock[link] = deliver
+            env.deliver_time = deliver
+            append_env(env)
+            append_time(deliver)
+            append_args((env,))
+        self._seq = seq
+        if nic is not None and n_remote:
+            nic.busy_until = ser_end
+            nic.total_busy = busy_acc
+            nic.jobs += n_remote
+        self.messages_sent += len(envs)
+        self.bytes_sent += size * len(envs)
+        if self.message_log is not None:
+            self.message_log.extend(envs)
+        self.sim.schedule_many(times, self._deliver, argss, label="deliver")
+        return envs
 
     def _extra_delay(self, now: float, src: int, dst: int, size: int) -> float:
         extra = 0.0

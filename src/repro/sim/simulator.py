@@ -9,7 +9,7 @@ simulated time costs only as many events as the model generates.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from .event import Event, EventQueue
 from .rng import RngRegistry
@@ -82,6 +82,29 @@ class Simulator:
             )
         return self._queue.push(
             time, callback, args, priority=priority, label=label
+        )
+
+    def schedule_many(
+        self,
+        times: Sequence[float],
+        callback: Callable[..., None],
+        argss: Sequence[tuple],
+        priority: int = 0,
+        label: str = "",
+    ) -> list[Event]:
+        """Bulk-schedule ``callback(*argss[i])`` at absolute ``times[i]``.
+
+        Equivalent to calling :meth:`schedule_at` once per pair — same
+        deterministic sequence numbering, so equal-time events fire in
+        list order — but the batch enters the heap in one pass without
+        per-call wrapper overhead (the network multicast fast path).
+        """
+        if times and min(times) < self._now:
+            raise SimulationError(
+                f"cannot schedule at {min(times)!r} < now ({self._now!r})"
+            )
+        return self._queue.push_many(
+            times, callback, argss, priority=priority, label=label
         )
 
     # ------------------------------------------------------------------

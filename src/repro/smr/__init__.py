@@ -5,7 +5,7 @@ from .block import GENESIS, GENESIS_HASH, Block, create_leaf, make_genesis
 from .chain import BlockStore, ChainError
 from .client import Client, PoissonClient, Reply, SubmitTx
 from .execution import ExecutionLog, KVStore, prefix_agreement
-from .mempool import BLOCK_TXS, Mempool, SaturatedSource
+from .mempool import BLOCK_TXS, DEFAULT_DEDUP_WINDOW, Mempool, SaturatedSource
 from .transaction import TX_OVERHEAD_BYTES, Transaction, TxFactory
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "KVStore",
     "prefix_agreement",
     "BLOCK_TXS",
+    "DEFAULT_DEDUP_WINDOW",
     "Mempool",
     "SaturatedSource",
     "TX_OVERHEAD_BYTES",

@@ -18,6 +18,13 @@ from .transaction import Transaction, TxFactory
 #: Transactions per block in the paper's evaluation.
 BLOCK_TXS = 400
 
+#: Default bound on a :class:`Mempool`'s duplicate-detection window.
+#: At ~100 bytes per key this caps the window near 25 MB per replica
+#: while still remembering ~600 full blocks of history — far beyond
+#: any client's realistic retransmission horizon.  Same bounded-FIFO
+#: pattern as the :class:`~repro.crypto.keys.KeyRing` signature memo.
+DEFAULT_DEDUP_WINDOW = 250_000
+
 
 class SaturatedSource:
     """Infinite supply of synthetic transactions with fixed payloads."""
@@ -35,34 +42,66 @@ class Mempool:
 
     ``next_batch`` drains queued client transactions first and tops the
     batch up from the synthetic source (if any) so blocks stay full.
+
+    **Dedup-horizon semantics.**  Duplicate detection remembers the
+    last ``dedup_window`` distinct transaction keys (submissions and
+    commits), evicting the oldest key first — an add-only set would
+    grow without bound over a long run and eventually dominate replica
+    memory.  A duplicate arriving *within* the window is rejected
+    exactly as before; a retransmission arriving after its key has
+    aged out of the window is re-admitted, which is safe: commit-time
+    dedup is the execution layer's job (the KV app's per-client
+    ``tx_id`` ordering), the mempool window only suppresses redundant
+    *queueing* work.  Re-admitting a key whose transaction is *still
+    pending* is harmless too: the resubmission overwrites the same
+    pending slot, so no batch ever carries the transaction twice.
     """
 
     def __init__(
         self,
         source: Optional[SaturatedSource] = None,
         batch_size: int = BLOCK_TXS,
+        dedup_window: int = DEFAULT_DEDUP_WINDOW,
     ) -> None:
+        if dedup_window <= 0:
+            raise ValueError("dedup_window must be positive")
         self.source = source
         self.batch_size = batch_size
+        self.dedup_window = dedup_window
         self._pending: OrderedDict[tuple[int, int], Transaction] = OrderedDict()
-        self._seen: set[tuple[int, int]] = set()
+        #: Bounded FIFO of recently seen keys (values unused); oldest
+        #: insertion evicted first, matching the KeyRing memo pattern.
+        self._seen: OrderedDict[tuple[int, int], None] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._pending)
 
+    def _remember(self, k: tuple[int, int]) -> None:
+        seen = self._seen
+        if k in seen:
+            return
+        if len(seen) >= self.dedup_window:
+            seen.popitem(last=False)
+        seen[k] = None
+
+    def seen_recently(self, k: tuple[int, int]) -> bool:
+        """Whether ``k`` is inside the current dedup horizon."""
+        return k in self._seen
+
     def submit(self, tx: Transaction) -> bool:
-        """Queue a client transaction; returns False on duplicates."""
+        """Queue a client transaction; returns False on duplicates
+        (within the dedup horizon — see the class docstring)."""
         k = tx.key()
         if k in self._seen:
             return False
-        self._seen.add(k)
+        self._remember(k)
         self._pending[k] = tx
         return True
 
     def mark_committed(self, tx: Transaction) -> None:
         """Drop a transaction that some block already committed."""
         k = (tx.client_id, tx.tx_id)
-        self._seen.add(k)
+        self._remember(k)
         self._pending.pop(k, None)
 
     def next_batch(self, now: float = 0.0) -> tuple[Transaction, ...]:
@@ -76,4 +115,4 @@ class Mempool:
         return tuple(out)
 
 
-__all__ = ["Mempool", "SaturatedSource", "BLOCK_TXS"]
+__all__ = ["Mempool", "SaturatedSource", "BLOCK_TXS", "DEFAULT_DEDUP_WINDOW"]

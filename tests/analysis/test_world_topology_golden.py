@@ -1,0 +1,78 @@
+"""Golden-fingerprint gate for the vectorized multicast fast path.
+
+The kernel goldens (test_fastpath_determinism.py) run a constant
+latency model, which never touches the RNG — they cannot detect a
+change in the network's *draw order*.  These goldens run the
+world-wide deployment (11-region RTT matrix + log-normal jitter), so
+every multicast samples the ``net`` stream once per remote
+destination: any deviation in draw count, draw order, or float
+arithmetic between the scalar and vectorized paths shifts delivery
+times and changes the digest.
+
+The digests were captured from the pre-fast-path scalar per-destination
+``send`` loop; the vectorized path must reproduce them bit-for-bit.
+Divergence is a correctness bug — never re-pin.
+"""
+
+import pytest
+
+from repro.analysis.sanitizer import fingerprint_run
+from repro.net.latency import TopologyLatency
+from repro.net.regions import WORLD11
+
+#: protocol -> (events, messages, decisions, fingerprint digest),
+#: captured at seed=7, f=1, target_blocks=4 over WORLD11 with
+#: sigma=0.06 log-normal jitter, timeout_base=2.0 — *before* the
+#: vectorized multicast/sample_many fast path landed.
+GOLDEN = {
+    "oneshot": (
+        85,
+        44,
+        10,
+        "1ee8d1356ab61c840d0cb6319513bd337d470a05e3cb97854ddc39f6868bb258",
+    ),
+    "damysus": (
+        136,
+        70,
+        10,
+        "743ef0f133671dffd2a8e575ce8fd4f1ca1e08689b69915f6733cee1b9ca4db0",
+    ),
+    "hotstuff": (
+        256,
+        131,
+        16,
+        "fdacf40d3f6f45001ed89635d8c0446c33f13a090b796bbaffacf636e3dbd3b9",
+    ),
+}
+
+
+def _world_fingerprint(protocol):
+    fp, _ = fingerprint_run(
+        protocol,
+        seed=7,
+        f=1,
+        target_blocks=4,
+        latency=TopologyLatency(WORLD11, sigma=0.06),
+        timeout_base=2.0,
+        max_sim_time=120.0,
+    )
+    return fp
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+def test_world_fingerprint_matches_scalar_era_golden(protocol):
+    events, messages, decisions, digest = GOLDEN[protocol]
+    fp = _world_fingerprint(protocol)
+    assert fp.events == events
+    assert fp.messages == messages
+    assert fp.decisions == decisions
+    assert fp.digest() == digest
+
+
+def test_world_fingerprint_is_replay_stable():
+    """Back-to-back runs in one process agree — the batched draws must
+    not leave the ``net`` stream in a different state than the scalar
+    draws would."""
+    a = _world_fingerprint("oneshot")
+    b = _world_fingerprint("oneshot")
+    assert a.digest() == b.digest()

@@ -195,3 +195,43 @@ def test_cli_bench_crypto_regression_exits_nonzero(tmp_path):
     before = path.read_text()
     assert main(["bench", "--quick", "--suite", "crypto", "--output-dir", str(tmp_path)]) == 1
     assert path.read_text() == before
+
+
+def test_cli_bench_net_suite_smoke(tmp_path):
+    """``--suite net`` runs only the network tier: it writes
+    BENCH_net.json (with the derived multicast-fastpath speedup metric)
+    and leaves the other baselines alone.  The speedup floor here is
+    deliberately looser than the committed baseline's (>=2x): --quick
+    runs few iterations on a possibly loaded CI machine."""
+    out = str(tmp_path)
+    assert main(["bench", "--quick", "--suite", "net", "--output-dir", out]) == 0
+    net = BenchReport.load(tmp_path / "BENCH_net.json")
+    assert {
+        "multicast_fast_sends_per_sec",
+        "multicast_scalar_sends_per_sec",
+        "multicast_fastpath_speedup",
+        "fifo_multicast_sends_per_sec",
+        "topology_jitter_samples_per_sec",
+        "schedule_many_events_per_sec",
+    } <= set(net.metrics)
+    assert net.metrics["multicast_fastpath_speedup"].value > 1.3
+    assert not (tmp_path / "BENCH_kernel.json").exists()
+    assert not (tmp_path / "BENCH_e2e.json").exists()
+    assert not (tmp_path / "BENCH_crypto.json").exists()
+
+
+def test_cli_bench_net_regression_exits_nonzero(tmp_path):
+    impossible = _report(
+        "net",
+        multicast_fast_sends_per_sec=1e15,
+        multicast_scalar_sends_per_sec=1e15,
+        multicast_fastpath_speedup=1e15,
+        fifo_multicast_sends_per_sec=1e15,
+        topology_jitter_samples_per_sec=1e15,
+        schedule_many_events_per_sec=1e15,
+    )
+    path = tmp_path / "BENCH_net.json"
+    impossible.write(path)
+    before = path.read_text()
+    assert main(["bench", "--quick", "--suite", "net", "--output-dir", str(tmp_path)]) == 1
+    assert path.read_text() == before

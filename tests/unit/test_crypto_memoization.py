@@ -11,7 +11,13 @@ recomputed one.
 import pytest
 
 from repro.crypto import hashing
-from repro.crypto.hashing import _digest_of_hashable, digest_of, encode, sha256
+from repro.crypto.hashing import (
+    _digest_of_disambiguated,
+    _digest_of_hashable,
+    digest_of,
+    encode,
+    sha256,
+)
 from repro.smr import Block, Transaction
 
 
@@ -29,8 +35,10 @@ def counting_sha256(monkeypatch):
     # A clean cache, restored empty afterwards so cached digests
     # produced under the stub cannot leak into other tests.
     _digest_of_hashable.cache_clear()
+    _digest_of_disambiguated.cache_clear()
     yield calls
     _digest_of_hashable.cache_clear()
+    _digest_of_disambiguated.cache_clear()
 
 
 def test_repeat_digest_hits_cache(counting_sha256):
@@ -84,6 +92,7 @@ def test_memoized_equals_recomputed(fields):
     """The cache is a pure speed memo: for each message type, the
     memoized digest equals a from-scratch ``sha256(encode(...))``."""
     _digest_of_hashable.cache_clear()
+    _digest_of_disambiguated.cache_clear()
     memoized = digest_of(*fields)  # populates the cache
     cached = digest_of(*fields)  # served from the cache
     recomputed = sha256(encode(fields))

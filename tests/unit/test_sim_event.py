@@ -196,3 +196,82 @@ def test_cancelled_event_repr_and_flag():
     assert not ev.cancelled
     ev.cancel()
     assert ev.cancelled
+
+
+# -- push_many ---------------------------------------------------------
+def test_push_many_matches_sequential_pushes():
+    """Bulk insert ≡ a loop of push(): same pop order, same seq."""
+    a, b = EventQueue(), EventQueue()
+    times = [3.0, 1.0, 2.0, 1.0, 5.0]
+    argss = [(i,) for i in range(len(times))]
+    cb = lambda i: None
+    a.push_many(times, cb, argss)
+    for t, args in zip(times, argss):
+        b.push(t, cb, args)
+    while True:
+        ea, eb = a.pop(), b.pop()
+        assert (ea is None) == (eb is None)
+        if ea is None:
+            break
+        assert (ea.time, ea.priority, ea.seq, ea.args) == (
+            eb.time,
+            eb.priority,
+            eb.seq,
+            eb.args,
+        )
+
+
+def test_push_many_equal_times_fire_in_batch_order():
+    q = EventQueue()
+    q.push_many([1.0] * 4, lambda i: None, [(i,) for i in range(4)])
+    assert [q.pop().args[0] for _ in range(4)] == [0, 1, 2, 3]
+
+
+def test_push_many_interleaves_with_push_by_seq():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    batch = q.push_many([1.0, 1.0], lambda i: None, [(0,), (1,)])
+    last = q.push(1.0, lambda: None)
+    seqs = [first.seq] + [ev.seq for ev in batch] + [last.seq]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == 4
+
+
+def test_push_many_empty_batch():
+    q = EventQueue()
+    assert q.push_many([], lambda: None, []) == []
+    assert len(q) == 0
+    assert q.live_count() == 0
+
+
+def test_push_many_heapify_path_orders_against_existing_events():
+    """A batch large relative to the heap takes extend+heapify — the
+    pre-existing events must still pop in time order."""
+    q = EventQueue()
+    q.push(2.5, lambda: None, label="old")
+    q.push_many(
+        [float(t) for t in (5, 1, 4, 2, 3, 9, 8, 7, 6, 0)],
+        lambda: None,
+        [()] * 10,
+    )
+    times = []
+    while (ev := q.pop()) is not None:
+        times.append(ev.time)
+    assert times == sorted(times)
+    assert 2.5 in times
+
+
+def test_push_many_events_are_cancellable():
+    q = EventQueue()
+    events = q.push_many([1.0, 2.0, 3.0], lambda: None, [()] * 3)
+    events[1].cancel()
+    assert q.live_count() == 2
+    assert [q.pop().time for _ in range(2)] == [1.0, 3.0]
+    assert q.pop() is None
+
+
+def test_push_many_live_count():
+    q = EventQueue()
+    q.push_many([1.0, 2.0], lambda: None, [(), ()])
+    assert q.live_count() == 2
+    assert len(q) == 2

@@ -179,3 +179,37 @@ def test_cancel_inside_callback_skips_peer():
     sim.run()
     assert fired == [1]
     assert sim.pending_events() == 0
+
+
+# -- schedule_many -----------------------------------------------------
+def test_schedule_many_fires_all_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_many(
+        [3.0, 1.0, 2.0], lambda i: fired.append((sim.now, i)), [(0,), (1,), (2,)]
+    )
+    sim.run()
+    assert fired == [(1.0, 1), (2.0, 2), (3.0, 0)]
+
+
+def test_schedule_many_past_time_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_many([2.0, 0.5], lambda: None, [(), ()])
+
+
+def test_schedule_many_empty_is_noop():
+    sim = Simulator()
+    assert sim.schedule_many([], lambda: None, []) == []
+    sim.run()
+    assert sim.events_executed == 0
+
+
+def test_schedule_many_equal_times_fire_in_batch_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_many([1.0] * 3, fired.append, [(i,) for i in range(3)])
+    sim.run()
+    assert fired == [0, 1, 2]

@@ -70,3 +70,71 @@ def test_batch_size_respected_with_many_pending():
         mp.submit(f.make())
     assert len(mp.next_batch()) == 2
     assert len(mp) == 3
+
+
+# -- bounded dedup window ----------------------------------------------
+def test_dedup_window_must_be_positive():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Mempool(dedup_window=0)
+    with pytest.raises(ValueError):
+        Mempool(dedup_window=-5)
+
+
+def test_default_dedup_window_is_bounded():
+    from repro.smr import DEFAULT_DEDUP_WINDOW
+
+    assert Mempool().dedup_window == DEFAULT_DEDUP_WINDOW
+    assert DEFAULT_DEDUP_WINDOW > 0
+
+
+def test_seen_set_never_exceeds_window():
+    mp = Mempool(dedup_window=8)
+    for i in range(50):
+        mp.submit(Transaction(1, i))
+    assert len(mp._seen) == 8
+
+
+def test_duplicate_within_window_rejected():
+    mp = Mempool(dedup_window=4)
+    t = Transaction(1, 1)
+    assert mp.submit(t)
+    mp.submit(Transaction(1, 2))
+    assert not mp.submit(t)
+
+
+def test_resubmit_after_horizon_is_readmitted():
+    """A retransmission arriving after its key aged out of the window
+    is accepted again — commit-time dedup is the execution layer's job."""
+    mp = Mempool(dedup_window=3)
+    t = Transaction(1, 1)
+    mp.submit(t)
+    mp.next_batch()  # drain pending; t is no longer queued
+    for i in range(2, 6):  # push t's key out of the 3-wide window
+        mp.submit(Transaction(1, i))
+    assert not mp.seen_recently(t.key())
+    assert mp.submit(t)
+
+
+def test_readmitted_pending_key_never_duplicates_a_batch():
+    """If a still-pending transaction's key ages out and it is
+    resubmitted, the resubmission overwrites the same pending slot —
+    no batch ever carries the transaction twice."""
+    mp = Mempool(dedup_window=2, batch_size=10)
+    t = Transaction(1, 1)
+    mp.submit(t)  # stays pending (no next_batch call)
+    mp.submit(Transaction(1, 2))
+    mp.submit(Transaction(1, 3))  # t's key evicted from window
+    assert mp.submit(t)  # re-admitted
+    batch = mp.next_batch()
+    assert sum(1 for tx in batch if tx.key() == t.key()) == 1
+
+
+def test_mark_committed_key_inside_window_blocks_resubmit():
+    mp = Mempool(dedup_window=4)
+    t = Transaction(1, 1)
+    mp.submit(t)
+    mp.mark_committed(t)
+    assert not mp.submit(t)
+    assert len(mp) == 0

@@ -1,9 +1,18 @@
-"""Lint rules — one visitor per invariant (see docs/invariants.md)."""
+"""Lint rules — one visitor per invariant (see docs/invariants.md).
 
-from .base import ImportMap, ModuleInfo, Rule, dotted_name
+Per-file rules subclass :class:`Rule`; the whole-program passes
+subclass :class:`ProjectRule` and run over the shared
+:class:`~repro.analysis.callgraph.ProjectIndex`.
+"""
+
+from .base import ImportMap, ModuleInfo, ProjectRule, Rule, dotted_name
+from .deepfreeze import DeepFreezeRule
 from .determinism import DeterminismRule
 from .hygiene import AllExportsRule, FloatEqualityRule
 from .messages import FrozenMessageRule, MutableDefaultRule
+from .secretflow import SecretFlowRule
+from .streamflow import StreamPurityRule
+from .substrate import SubstrateBoundaryRule
 from .tee import TeeEncapsulationRule
 
 
@@ -16,11 +25,17 @@ def default_rules() -> list[Rule]:
         MutableDefaultRule(),
         FloatEqualityRule(),
         AllExportsRule(),
+        # Whole-program passes (shared ProjectIndex, built once per run).
+        StreamPurityRule(),
+        SecretFlowRule(),
+        SubstrateBoundaryRule(),
+        DeepFreezeRule(),
     ]
 
 
 __all__ = [
     "Rule",
+    "ProjectRule",
     "ModuleInfo",
     "ImportMap",
     "dotted_name",
@@ -30,5 +45,9 @@ __all__ = [
     "MutableDefaultRule",
     "FloatEqualityRule",
     "AllExportsRule",
+    "StreamPurityRule",
+    "SecretFlowRule",
+    "SubstrateBoundaryRule",
+    "DeepFreezeRule",
     "default_rules",
 ]

@@ -154,28 +154,68 @@ class DeterminismRule(Rule):
         RNG draw order to control flow — the batch APIs
         (``sample_many`` / ``sample_per_link``) keep draw order a
         function of the destination vector alone.
+
+        Aliased references are caught too: binding the bound method
+        (``draw = model.sample``) and calling ``draw(...)`` in a loop
+        is the same scalar draw with the attribute hidden one
+        assignment earlier.
         """
+        sample_aliases = self._sample_aliases(module.tree)
         seen: set[int] = set()
         for loop in ast.walk(module.tree):
             if not isinstance(loop, _LOOP_NODES):
                 continue
             for node in ast.walk(loop):
-                if (
-                    isinstance(node, ast.Call)
-                    and isinstance(node.func, ast.Attribute)
+                if not isinstance(node, ast.Call) or id(node) in seen:
+                    continue
+                direct = (
+                    isinstance(node.func, ast.Attribute)
                     and node.func.attr == "sample"
-                    # Nested loops are walked as their own roots too —
-                    # report each call site once.
-                    and id(node) not in seen
-                ):
-                    seen.add(id(node))
-                    yield self.finding(
-                        module,
-                        node,
-                        "scalar latency .sample() inside a loop — batch "
-                        "through LatencyModel.sample_many / sample_per_link "
-                        "so the multicast draw order stays vectorizable",
-                    )
+                )
+                aliased = (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in sample_aliases
+                )
+                if not (direct or aliased):
+                    continue
+                # Nested loops are walked as their own roots too —
+                # report each call site once.
+                seen.add(id(node))
+                what = (
+                    "scalar latency .sample()"
+                    if direct
+                    else f"scalar latency .sample() (via alias "
+                    f"{node.func.id!r})"
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"{what} inside a loop — batch through "
+                    f"LatencyModel.sample_many / sample_per_link so the "
+                    f"multicast draw order stays vectorizable",
+                )
+
+    @staticmethod
+    def _sample_aliases(tree: ast.Module) -> set[str]:
+        """Names bound to a ``<expr>.sample`` bound method anywhere."""
+        out: set[str] = set()
+        for node in ast.walk(tree):
+            value: ast.expr | None
+            targets: Sequence[ast.expr]
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign):
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if not (
+                isinstance(value, ast.Attribute) and value.attr == "sample"
+            ):
+                continue
+            for tgt in targets:
+                if isinstance(tgt, ast.Name):
+                    out.add(tgt.id)
+        return out
 
 
 __all__ = [

@@ -3,10 +3,11 @@
 Times the simulation kernel's hot paths (:mod:`repro.bench.kernel`),
 one end-to-end consensus run (:mod:`repro.bench.e2e`), the crypto
 verification fast path (:mod:`repro.bench.crypto`) and the network
-multicast fast path (:mod:`repro.bench.net`), compares the rates
+multicast fast path (:mod:`repro.bench.net`) and the whole-program
+static analyzer (:mod:`repro.bench.lint`), compares the rates
 against the recorded baselines (``BENCH_kernel.json`` /
-``BENCH_e2e.json`` / ``BENCH_crypto.json`` / ``BENCH_net.json``) and
-fails on regressions beyond a tolerance — see
+``BENCH_e2e.json`` / ``BENCH_crypto.json`` / ``BENCH_net.json`` /
+``BENCH_lint.json``) and fails on regressions beyond a tolerance — see
 :mod:`repro.bench.harness` for the report model and exit contract.
 """
 
@@ -23,6 +24,7 @@ from .harness import (
     render_report,
 )
 from .kernel import run_kernel_bench
+from .lint import run_lint_bench
 from .net import run_net_bench
 
 __all__ = [
@@ -37,5 +39,6 @@ __all__ = [
     "run_crypto_bench",
     "run_e2e_bench",
     "run_kernel_bench",
+    "run_lint_bench",
     "run_net_bench",
 ]

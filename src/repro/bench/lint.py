@@ -1,0 +1,102 @@
+"""Analyzer benchmarks: the whole-program lint's own cost is gated too.
+
+``tests/analysis`` runs the full lint as part of tier-1 and the
+pre-commit habit is ``oneshot-repro lint`` on every change, so analyzer
+wall-time is developer-loop latency exactly like the simulation
+kernel's — and the interprocedural passes (call-graph build, taint
+fixpoints) are the kind of code whose cost quietly goes quadratic with
+an innocent-looking change.  This tier pins:
+
+* ``lint_cold_wall_s`` — a full ``lint_package()`` run with the
+  memoized project index dropped first: the cost of a cold
+  ``oneshot-repro lint`` invocation (the acceptance bound is "well
+  under 30 s"; the baseline is two orders of magnitude below that);
+* ``index_build_wall_s`` — the :class:`ProjectIndex` construction
+  alone (symbol table, alias resolution, attribute-type fixpoint,
+  call-graph edges): the piece every whole-program pass shares;
+* ``lint_warm_wall_s`` — a second ``lint_package()`` with the index
+  memo warm, which is what the 3× repeated calls in the analysis test
+  suite pay.
+
+This module (like the other bench tiers) is allowed to read the wall
+clock: elapsed real time *is* the measurement, so the determinism rule
+is suppressed for it in ``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..analysis import lint_package
+from ..analysis.callgraph import build_project_index, clear_index_cache
+from ..analysis.engine import LintEngine
+from .harness import BenchMetric, BenchReport
+
+
+def _load_modules():
+    from pathlib import Path
+
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    eng = LintEngine()
+    modules = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root.parent).as_posix()
+        modules[rel] = eng.load_module(path, rel)
+    return modules
+
+
+def bench_lint_cold(repeats: int = 3) -> BenchMetric:
+    """Full lint of the installed package, cold index each time."""
+    best = float("inf")
+    for _ in range(repeats):
+        clear_index_cache()
+        start = time.perf_counter()
+        report = lint_package()
+        elapsed = time.perf_counter() - start
+        assert report.modules_checked > 50
+        best = min(best, elapsed)
+    return BenchMetric("lint_cold_wall_s", best, "s", higher_is_better=False)
+
+
+def bench_index_build(repeats: int = 3) -> BenchMetric:
+    """Project index construction alone (parse excluded)."""
+    modules = _load_modules()
+    best = float("inf")
+    for _ in range(repeats):
+        clear_index_cache()
+        start = time.perf_counter()
+        build_project_index(modules, use_cache=False)
+        best = min(best, time.perf_counter() - start)
+    return BenchMetric("index_build_wall_s", best, "s", higher_is_better=False)
+
+
+def bench_lint_warm(repeats: int = 3) -> BenchMetric:
+    """Repeat lint with the index memo warm (test-suite pattern)."""
+    clear_index_cache()
+    lint_package()  # prime the memo
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        lint_package()
+        best = min(best, time.perf_counter() - start)
+    return BenchMetric("lint_warm_wall_s", best, "s", higher_is_better=False)
+
+
+def run_lint_bench(quick: bool = False) -> BenchReport:
+    """Run the analyzer benches; ``quick`` takes single measurements."""
+    repeats = 1 if quick else 3
+    report = BenchReport(name="lint")
+    report.add(bench_lint_cold(repeats))
+    report.add(bench_index_build(repeats))
+    report.add(bench_lint_warm(repeats))
+    return report
+
+
+__all__ = [
+    "bench_index_build",
+    "bench_lint_cold",
+    "bench_lint_warm",
+    "run_lint_bench",
+]

@@ -215,6 +215,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_crypto_bench,
         run_e2e_bench,
         run_kernel_bench,
+        run_lint_bench,
         run_net_bench,
     )
 
@@ -231,6 +232,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "e2e": run_e2e_bench,
         "crypto": run_crypto_bench,
         "net": run_net_bench,
+        "lint": run_lint_bench,
     }
     suites = list(runners) if args.suite == "all" else [args.suite]
 
@@ -252,12 +254,63 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _changed_module_paths(ref: str, root: "Path") -> Optional[set[str]]:
+    """Module paths (``repro/...`` form) differing from git ``ref``.
+
+    Combines ``git diff --name-only <ref>`` with untracked files, maps
+    repo-relative paths onto the lint root's coordinate system, and
+    returns None (with a message) if git is unavailable or ``ref`` does
+    not resolve.
+    """
+    import subprocess
+    from pathlib import Path
+
+    def _git(*argv: str) -> Optional[str]:
+        try:
+            proc = subprocess.run(
+                ["git", *argv],
+                capture_output=True,
+                text=True,
+                cwd=str(root),
+                timeout=30,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return proc.stdout if proc.returncode == 0 else None
+
+    toplevel = _git("rev-parse", "--show-toplevel")
+    if toplevel is None:
+        print("error: --changed-only requires a git checkout", file=sys.stderr)
+        return None
+    repo = Path(toplevel.strip())
+    diff = _git("diff", "--name-only", ref, "--", "*.py")
+    if diff is None:
+        print(
+            f"error: --changed-only ref {ref!r} did not resolve", file=sys.stderr
+        )
+        return None
+    untracked = _git("ls-files", "--others", "--exclude-standard", "--", "*.py")
+    names = set(diff.split()) | set((untracked or "").split())
+    # Lint paths are relative to the lint root's *parent* (e.g.
+    # ``src/repro/sim/rng.py`` reports as ``repro/sim/rng.py``).
+    base = root.resolve().parent
+    out: set[str] = set()
+    for name in names:
+        p = (repo / name).resolve()
+        try:
+            out.add(p.relative_to(base).as_posix())
+        except ValueError:
+            continue  # changed file outside the lint root
+    return out
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Static invariant gate (docs/invariants.md).
 
     Exit code contract: 0 = clean (no findings outside the curated
     suppression list in pyproject.toml), 1 = violations found,
-    2 = bad invocation (nonexistent --root / --pyproject).
+    2 = bad invocation (nonexistent --root / --pyproject, or a
+    --changed-only ref that does not resolve).
     """
     from pathlib import Path
 
@@ -275,12 +328,37 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             f"error: --pyproject {args.pyproject!r} does not exist", file=sys.stderr
         )
         return 2
+    if args.root:
+        root = Path(args.root)
+    else:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    only_paths: Optional[set[str]] = None
+    if args.changed_only is not None:
+        only_paths = _changed_module_paths(args.changed_only, root)
+        if only_paths is None:
+            return 2
+        if not only_paths:
+            print("0 finding(s): no modules changed vs "
+                  f"{args.changed_only}")
+            return 0
     report = lint_package(
-        root=Path(args.root) if args.root else None,
+        root=root,
         pyproject=Path(args.pyproject) if args.pyproject else None,
         ignore_suppressions=args.no_suppressions,
+        only_paths=only_paths,
     )
-    print(report.to_json() if args.format == "json" else report.render_text())
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "sarif":
+        print(report.to_sarif())
+    elif args.format == "github":
+        out = report.render_github()
+        if out:
+            print(out)
+    else:
+        print(report.render_text())
     return 0 if report.clean else 1
 
 
@@ -372,7 +450,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser(
-        "bench", help="kernel + e2e + crypto + net benchmarks with regression gate"
+        "bench",
+        help="kernel + e2e + crypto + net + lint benchmarks with regression gate",
     )
     p.add_argument(
         "--quick",
@@ -382,7 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--suite",
         default="all",
-        choices=["kernel", "e2e", "crypto", "net", "all"],
+        choices=["kernel", "e2e", "crypto", "net", "lint", "all"],
         help="which bench suite to run (default: all)",
     )
     p.add_argument(
@@ -401,11 +480,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lint", help="static invariant checks (docs/invariants.md)")
     p.add_argument("--root", default=None, help="package dir to lint (default: repro)")
     p.add_argument("--pyproject", default=None, help="pyproject.toml with suppressions")
-    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json", "sarif", "github"],
+        help="output style: human text, JSON, SARIF 2.1.0, or "
+        "GitHub-Actions ::error annotations",
+    )
     p.add_argument(
         "--no-suppressions",
         action="store_true",
         help="ignore the curated suppression list",
+    )
+    p.add_argument(
+        "--changed-only",
+        metavar="REF",
+        default=None,
+        help="report findings only for modules differing from git REF "
+        "(analysis still covers the whole tree)",
     )
     p.add_argument("--rules", action="store_true", help="list rules and exit")
     p.set_defaults(func=_cmd_lint)

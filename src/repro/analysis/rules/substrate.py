@@ -47,12 +47,18 @@ SUBSTRATE_API: dict[str, frozenset[str]] = {
     "repro.sim.event.EventQueue": frozenset(
         {"push", "push_many", "pop", "pop_next", "live_count"}
     ),
+    "repro.sim.columnar.ColumnarEventQueue": frozenset(
+        {"push", "push_many", "pop", "pop_next", "live_count"}
+    ),
     "repro.sim.event.Event": frozenset({"cancel", "cancelled", "time"}),
     "repro.sim.cpu.Resource": frozenset(
-        {"occupy", "busy_until", "queueing_delay", "utilization", "name"}
+        {"occupy", "occupy_many", "busy_until", "queueing_delay",
+         "utilization", "name"}
     ),
     "repro.sim.cpu.Cpu": frozenset(),
-    "repro.sim.cpu.Nic": frozenset({"serialize", "bandwidth_bps"}),
+    "repro.sim.cpu.Nic": frozenset(
+        {"serialize", "serialize_many", "bandwidth_bps"}
+    ),
     "repro.sim.process.Timer": frozenset({"start", "cancel", "armed"}),
     "repro.sim.rng.RngRegistry": frozenset(
         {"stream", "spawn", "fork", "derive_seed", "root_seed"}

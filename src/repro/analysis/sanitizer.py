@@ -85,12 +85,31 @@ def fingerprint_run(
     latency_s: float = 0.002,
     timeout_base: float = 0.2,
     max_sim_time: float = 60.0,
+    kernel: str = "scalar",
+    gst: float = 0.0,
+    pre_gst_extra: float = 0.0,
+    setup=None,
 ) -> tuple[RunFingerprint, MetricsCollector]:
-    """Run a small cluster to ``target_blocks`` and fingerprint it."""
+    """Run a small cluster to ``target_blocks`` and fingerprint it.
+
+    ``kernel`` selects the simulation substrate (the kernel-parity
+    tests fingerprint the same scenario under every kernel and require
+    bit-identical digests).  ``gst``/``pre_gst_extra`` configure
+    pre-GST asynchrony, and ``setup`` (if given) is called with the
+    built :class:`~repro.net.network.Network` before the run — the
+    hook point for installing delay hooks or other conditions.
+    """
     info = get_protocol(protocol)
-    sim = Simulator(seed=seed)
-    network = Network(sim, latency=latency or ConstantLatency(latency_s))
+    sim = Simulator(seed=seed, kernel=kernel)
+    network = Network(
+        sim,
+        latency=latency or ConstantLatency(latency_s),
+        gst=gst,
+        pre_gst_extra=pre_gst_extra,
+    )
     network.enable_log()
+    if setup is not None:
+        setup(network)
     cluster = build_cluster(
         info.replica_cls,
         sim,

@@ -20,6 +20,7 @@ from .harness import (
     MetricDelta,
     annotate_speedups,
     compare,
+    profile_call,
     regressions,
     render_report,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "MetricDelta",
     "annotate_speedups",
     "compare",
+    "profile_call",
     "regressions",
     "render_report",
     "run_crypto_bench",

@@ -19,7 +19,9 @@ from ..experiments.runner import run_experiment
 from .harness import BenchMetric, BenchReport
 
 
-def run_e2e_bench(quick: bool = False, seed: int = 7) -> BenchReport:
+def run_e2e_bench(
+    quick: bool = False, seed: int = 7, kernel: str = "scalar"
+) -> BenchReport:
     """Time one saturated OneShot run (f=1, constant 2 ms links).
 
     Reported rates are wall-clock (events and committed transactions
@@ -43,6 +45,7 @@ def run_e2e_bench(quick: bool = False, seed: int = 7) -> BenchReport:
         target_blocks=12 if quick else 50,
         timeout_base=0.5,
         seed=seed,
+        kernel=kernel,
     )
     warmup = ExperimentConfig(
         protocol="oneshot",
@@ -53,6 +56,7 @@ def run_e2e_bench(quick: bool = False, seed: int = 7) -> BenchReport:
         target_blocks=12 if quick else 50,
         timeout_base=0.5,
         seed=seed + 1,
+        kernel=kernel,
     )
     run_experiment(warmup)
     start = time.perf_counter()

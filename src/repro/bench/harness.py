@@ -146,6 +146,31 @@ def annotate_speedups(report: BenchReport, deltas: list[MetricDelta]) -> None:
     report.speedup_vs_baseline = {d.name: round(d.speedup, 4) for d in deltas}
 
 
+def profile_call(fn, top_n: int = 20):
+    """Run ``fn()`` under :mod:`cProfile`; returns ``(result, table)``.
+
+    ``table`` is the top-``top_n`` functions by cumulative time — the
+    ``oneshot-repro bench --profile`` diagnostic.  Profiling overhead
+    skews wall-clock rates, so callers must not feed the returned
+    report into the baseline regression gate.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    buf = io.StringIO()
+    pstats.Stats(profiler, stream=buf).sort_stats("cumulative").print_stats(
+        top_n
+    )
+    return result, buf.getvalue()
+
+
 def render_report(
     report: BenchReport, deltas: Optional[list[MetricDelta]] = None
 ) -> str:
@@ -171,5 +196,6 @@ __all__ = [
     "compare",
     "regressions",
     "annotate_speedups",
+    "profile_call",
     "render_report",
 ]

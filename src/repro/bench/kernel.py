@@ -17,15 +17,16 @@ import time
 
 from ..crypto.hashing import digest_of
 from ..net import Network
-from ..sim import Process, Simulator
-from ..sim.event import EventQueue
+from ..sim import DEFAULT_KERNEL, Process, Simulator, create_queue
 from .harness import BenchMetric, BenchReport
 
 
-def bench_chained_events(n: int = 200_000) -> BenchMetric:
+def bench_chained_events(
+    n: int = 200_000, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
     """One self-rescheduling callback driven ``n`` times: pure loop
     overhead (pop, clock update, dispatch, push)."""
-    sim = Simulator(seed=1)
+    sim = Simulator(seed=1, kernel=kernel)
     remaining = [n]
 
     def tick() -> None:
@@ -40,10 +41,12 @@ def bench_chained_events(n: int = 200_000) -> BenchMetric:
     return BenchMetric("chained_events_per_sec", n / elapsed, "events/s")
 
 
-def bench_push_drain(n: int = 100_000) -> BenchMetric:
+def bench_push_drain(
+    n: int = 100_000, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
     """Heap churn: push ``n`` events with interleaved timestamps, then
     drain — sift cost dominates, which is what the tuple heap targets."""
-    queue = EventQueue()
+    queue = create_queue(kernel)
 
     def noop() -> None:
         pass
@@ -58,11 +61,13 @@ def bench_push_drain(n: int = 100_000) -> BenchMetric:
     return BenchMetric("push_drain_events_per_sec", n / elapsed, "events/s")
 
 
-def bench_cancel_skip(n: int = 100_000) -> BenchMetric:
+def bench_cancel_skip(
+    n: int = 100_000, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
     """Timer re-arm pattern: every pushed event is cancelled and
     replaced before firing, so the pop path must skip soft-deleted
     entries — the dominant cost of view-timeout management."""
-    queue = EventQueue()
+    queue = create_queue(kernel)
 
     def noop() -> None:
         pass
@@ -85,10 +90,12 @@ class _Sink(Process):
         pass
 
 
-def bench_multicast(rounds: int = 1_000, n: int = 31) -> BenchMetric:
+def bench_multicast(
+    rounds: int = 1_000, n: int = 31, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
     """Leader-broadcast fan-out: one source multicasting to ``n - 1``
     peers per round, deliveries drained between rounds."""
-    sim = Simulator(seed=1)
+    sim = Simulator(seed=1, kernel=kernel)
     network = Network(sim)
     for pid in range(n):
         network.register(_Sink(sim, pid))
@@ -101,6 +108,35 @@ def bench_multicast(rounds: int = 1_000, n: int = 31) -> BenchMetric:
     elapsed = time.perf_counter() - start
     return BenchMetric(
         "multicast_sends_per_sec", rounds * len(dsts) / elapsed, "sends/s"
+    )
+
+
+def bench_push_many_drain(
+    batches: int = 1_500, k: int = 64, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
+    """Bulk insert + drain: ``push_many`` with multicast-sized batches
+    against a part-filled queue, then a full drain.  This is the shape
+    the columnar kernel's lexsort merge targets; the scalar kernel
+    serves it with extend-and-heapify."""
+    queue = create_queue(kernel)
+
+    def noop() -> None:
+        pass
+
+    argss = [()] * k
+    start = time.perf_counter()
+    for b in range(batches):
+        base = float(b * k)
+        # Descending times inside the batch force real sorting work.
+        queue.push_many([base + (k - i) for i in range(k)], noop, argss)
+        if b % 4 == 3:
+            for _ in range(2 * k):
+                queue.pop()
+    while queue.pop() is not None:
+        pass
+    elapsed = time.perf_counter() - start
+    return BenchMetric(
+        "push_many_drain_events_per_sec", batches * k / elapsed, "events/s"
     )
 
 
@@ -126,15 +162,20 @@ def bench_rng_streams(n: int = 200_000) -> BenchMetric:
     return BenchMetric("rng_lookups_per_sec", n / elapsed, "lookups/s")
 
 
-def run_kernel_bench(quick: bool = False) -> BenchReport:
+def run_kernel_bench(
+    quick: bool = False, kernel: str = DEFAULT_KERNEL
+) -> BenchReport:
     """Run every kernel microbench; ``quick`` shrinks iteration counts
-    for smoke tests (rates stay comparable, noise grows)."""
+    for smoke tests (rates stay comparable, noise grows).  ``kernel``
+    selects the substrate under test — metric names stay the same, so
+    baselines must be compared per kernel."""
     scale = 10 if quick else 1
     report = BenchReport(name="kernel")
-    report.add(bench_chained_events(200_000 // scale))
-    report.add(bench_push_drain(100_000 // scale))
-    report.add(bench_cancel_skip(100_000 // scale))
-    report.add(bench_multicast(1_000 // scale))
+    report.add(bench_chained_events(200_000 // scale, kernel=kernel))
+    report.add(bench_push_drain(100_000 // scale, kernel=kernel))
+    report.add(bench_cancel_skip(100_000 // scale, kernel=kernel))
+    report.add(bench_multicast(1_000 // scale, kernel=kernel))
+    report.add(bench_push_many_drain(1_500 // scale, kernel=kernel))
     report.add(bench_digests(20_000 // scale))
     report.add(bench_rng_streams(200_000 // scale))
     return report
@@ -145,6 +186,7 @@ __all__ = [
     "bench_push_drain",
     "bench_cancel_skip",
     "bench_multicast",
+    "bench_push_many_drain",
     "bench_digests",
     "bench_rng_streams",
     "run_kernel_bench",

@@ -22,7 +22,7 @@ from ..net import Network, UniformLatency
 from ..net.latency import TopologyLatency
 from ..net.message import HEADER_BYTES, payload_size
 from ..net.regions import WORLD11
-from ..sim import Process, Simulator
+from ..sim import DEFAULT_KERNEL, Process, Simulator
 from .harness import BenchMetric, BenchReport
 
 
@@ -33,15 +33,19 @@ class _Sink(Process):
         pass
 
 
-def _fanout_net(n: int, seed: int = 1, **kwargs) -> tuple[Simulator, Network]:
-    sim = Simulator(seed=seed)
+def _fanout_net(
+    n: int, seed: int = 1, kernel: str = DEFAULT_KERNEL, **kwargs
+) -> tuple[Simulator, Network]:
+    sim = Simulator(seed=seed, kernel=kernel)
     network = Network(sim, **kwargs)
     for pid in range(n):
         network.register(_Sink(sim, pid))
     return sim, network
 
 
-def bench_multicast_fast(rounds: int = 1_000, n: int = 61) -> BenchMetric:
+def bench_multicast_fast(
+    rounds: int = 1_000, n: int = 61, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
     """Leader-broadcast fan-out through the vectorized multicast path
     (batched sampling, bulk ``schedule_many`` insert).
 
@@ -52,7 +56,7 @@ def bench_multicast_fast(rounds: int = 1_000, n: int = 61) -> BenchMetric:
     ``n=61`` is a 3f+1 deployment with f=20 — the batch amortization
     the fast path exists for shows at the paper's larger scales.
     """
-    sim, network = _fanout_net(n)
+    sim, network = _fanout_net(n, kernel=kernel)
     dsts = tuple(range(1, n))
     payload = "bench-payload"
     elapsed = 0.0
@@ -66,12 +70,14 @@ def bench_multicast_fast(rounds: int = 1_000, n: int = 61) -> BenchMetric:
     )
 
 
-def bench_multicast_scalar(rounds: int = 1_000, n: int = 61) -> BenchMetric:
+def bench_multicast_scalar(
+    rounds: int = 1_000, n: int = 61, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
     """The same fan-out through the pre-fast-path scalar reference: one
     :meth:`Network._send_one` call per destination (payload sized once
     per round, exactly the old ``multicast`` body).  Timed like
     :func:`bench_multicast_fast` — fan-out only, drain untimed."""
-    sim, network = _fanout_net(n)
+    sim, network = _fanout_net(n, kernel=kernel)
     dsts = tuple(range(1, n))
     payload = "bench-payload"
     elapsed = 0.0
@@ -89,11 +95,13 @@ def bench_multicast_scalar(rounds: int = 1_000, n: int = 61) -> BenchMetric:
     )
 
 
-def bench_fifo_multicast(rounds: int = 1_000, n: int = 61) -> BenchMetric:
+def bench_fifo_multicast(
+    rounds: int = 1_000, n: int = 61, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
     """Fan-out over jittered FIFO (TCP-style) links: the fast path must
     keep the per-link clock while batching everything else."""
     sim, network = _fanout_net(
-        n, latency=UniformLatency(0.001, 0.01), fifo_links=True
+        n, kernel=kernel, latency=UniformLatency(0.001, 0.01), fifo_links=True
     )
     dsts = tuple(range(1, n))
     payload = "bench-payload"
@@ -126,10 +134,12 @@ def bench_topology_jitter(batches: int = 2_000, n: int = 33) -> BenchMetric:
     )
 
 
-def bench_schedule_many(batches: int = 2_000, k: int = 64) -> BenchMetric:
+def bench_schedule_many(
+    batches: int = 2_000, k: int = 64, kernel: str = DEFAULT_KERNEL
+) -> BenchMetric:
     """Bulk event insertion: ``schedule_many`` with multicast-sized
     batches against a busy heap."""
-    sim = Simulator(seed=1)
+    sim = Simulator(seed=1, kernel=kernel)
 
     def noop(i: int) -> None:
         pass
@@ -147,7 +157,9 @@ def bench_schedule_many(batches: int = 2_000, k: int = 64) -> BenchMetric:
     )
 
 
-def run_net_bench(quick: bool = False) -> BenchReport:
+def run_net_bench(
+    quick: bool = False, kernel: str = DEFAULT_KERNEL
+) -> BenchReport:
     """Run every network microbench; ``quick`` shrinks iteration counts
     for smoke tests (rates stay comparable, noise grows).
 
@@ -157,8 +169,8 @@ def run_net_bench(quick: bool = False) -> BenchReport:
     """
     scale = 10 if quick else 1
     report = BenchReport(name="net")
-    fast = bench_multicast_fast(1_000 // scale)
-    scalar = bench_multicast_scalar(1_000 // scale)
+    fast = bench_multicast_fast(1_000 // scale, kernel=kernel)
+    scalar = bench_multicast_scalar(1_000 // scale, kernel=kernel)
     report.add(fast)
     report.add(scalar)
     report.add(
@@ -166,9 +178,9 @@ def run_net_bench(quick: bool = False) -> BenchReport:
             "multicast_fastpath_speedup", fast.value / scalar.value, "x"
         )
     )
-    report.add(bench_fifo_multicast(1_000 // scale))
+    report.add(bench_fifo_multicast(1_000 // scale, kernel=kernel))
     report.add(bench_topology_jitter(2_000 // scale))
-    report.add(bench_schedule_many(2_000 // scale))
+    report.add(bench_schedule_many(2_000 // scale, kernel=kernel))
     return report
 
 

@@ -49,6 +49,7 @@ from .experiments.sweep import (
     run_fig7_sweep,
 )
 from .experiments.fig7 import PAPER_F_VALUES
+from .sim import DEFAULT_KERNEL, available_kernels
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -65,6 +66,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         deployment=args.deployment,
         target_blocks=args.blocks,
         seed=args.seed,
+        kernel=args.kernel,
     )
     result = run_experiment(cfg)
     print(cfg.describe())
@@ -210,6 +212,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         annotate_speedups,
         BenchReport,
         compare,
+        profile_call,
         regressions,
         render_report,
         run_crypto_bench,
@@ -227,14 +230,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 2
 
+    kernel = args.kernel
     runners = {
-        "kernel": run_kernel_bench,
-        "e2e": run_e2e_bench,
+        "kernel": lambda quick: run_kernel_bench(quick, kernel=kernel),
+        "e2e": lambda quick: run_e2e_bench(quick, kernel=kernel),
         "crypto": run_crypto_bench,
-        "net": run_net_bench,
+        "net": lambda quick: run_net_bench(quick, kernel=kernel),
         "lint": run_lint_bench,
     }
     suites = list(runners) if args.suite == "all" else [args.suite]
+
+    if args.profile:
+        # Diagnostic mode: profiler overhead skews every wall-clock
+        # rate, so reports are printed for orientation but baselines
+        # are neither compared against nor rewritten.
+        for s in suites:
+            report, table = profile_call(
+                lambda: runners[s](quick=args.quick), top_n=args.profile_top
+            )
+            print(render_report(report))
+            print(
+                f"[{report.name}] cProfile top {args.profile_top} "
+                "by cumulative time (rates above include profiler "
+                "overhead; baselines untouched):"
+            )
+            print(table)
+        return 0
 
     failed = False
     for report in (runners[s](quick=args.quick) for s in suites):
@@ -377,6 +398,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--f", type=int, default=1)
     p.add_argument("--payload", type=int, default=0, choices=[0, 256])
+    p.add_argument(
+        "--kernel",
+        default=DEFAULT_KERNEL,
+        choices=list(available_kernels()),
+        help="simulation substrate kernel (identical results, different "
+        "wall-clock speed)",
+    )
     _add_common(p)
     p.set_defaults(func=_cmd_run)
 
@@ -474,6 +502,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir",
         default=".",
         help="directory holding the BENCH_<suite>.json baselines",
+    )
+    p.add_argument(
+        "--kernel",
+        default=DEFAULT_KERNEL,
+        choices=list(available_kernels()),
+        help="simulation substrate kernel for the kernel/e2e/net suites",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each suite under cProfile and print the hottest "
+        "functions (diagnostic; baselines are not compared or rewritten)",
+    )
+    p.add_argument(
+        "--profile-top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="rows in the --profile table (default 20)",
     )
     p.set_defaults(func=_cmd_bench)
 

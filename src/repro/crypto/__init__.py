@@ -7,7 +7,15 @@ model (:mod:`repro.crypto.costs`).
 
 from . import memo
 from .costs import FREE, T2_MICRO, CryptoCostModel
-from .hashing import GENESIS_DIGEST, Digest, digest_of, encode, sha256, short
+from .hashing import (
+    GENESIS_DIGEST,
+    Digest,
+    digest_of,
+    digest_of_boolfree,
+    encode,
+    sha256,
+    short,
+)
 from .keys import SIG_MEMO_CAPACITY, KeyPair, KeyRing, PublicKey, Signature
 
 __all__ = [
@@ -19,6 +27,7 @@ __all__ = [
     "GENESIS_DIGEST",
     "Digest",
     "digest_of",
+    "digest_of_boolfree",
     "encode",
     "sha256",
     "short",

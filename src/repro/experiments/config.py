@@ -34,6 +34,9 @@ class ExperimentConfig:
     pre_gst_extra: float = 0.0
     #: Skip this many initial decided blocks in the statistics (warm-up).
     warmup_blocks: int = 2
+    #: Simulation substrate kernel ("scalar" or "columnar"); purely a
+    #: wall-clock choice — every kernel replays the identical schedule.
+    kernel: str = "scalar"
 
     def describe(self) -> str:
         return (

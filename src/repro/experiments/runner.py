@@ -55,7 +55,7 @@ def run_experiment(
     """Run one experiment to completion and return its results."""
     info = get_protocol(config.protocol)
     n = info.n_for(config.f)
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, kernel=config.kernel)
     network = Network(
         sim,
         latency=latency_model_for(config.deployment, config.local_latency_s),

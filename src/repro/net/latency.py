@@ -26,6 +26,17 @@ A model that cannot satisfy stream identity must simply not define
 ``sample_many``; :func:`sample_per_link` is the sanctioned per-link
 loop the network falls back to (the determinism lint flags ad-hoc
 ``latency.sample`` loops inside :mod:`repro.net` instead).
+
+Draw-free models
+----------------
+
+Models additionally expose ``draw_free``: true when sampling consumes
+**no** RNG draws (:class:`ConstantLatency` always;
+:class:`TopologyLatency` when ``sigma == 0``).  The network uses it to
+decide whether the pre-GST extra-delay draws can be batched separately
+from the latency draws: with a draw-free model the two never interleave
+on the shared stream, so batching stays stream-identical.  A model that
+omits the attribute is treated as draw-consuming (the safe default).
 """
 
 from __future__ import annotations
@@ -67,6 +78,9 @@ def sample_per_link(
 class ConstantLatency:
     """Fixed one-way delay between every pair of distinct nodes."""
 
+    #: Sampling never touches the RNG (see module docstring).
+    draw_free = True
+
     def __init__(self, delay_s: float, loopback_s: float = 1e-6) -> None:
         if delay_s < 0:
             raise ValueError("delay must be non-negative")
@@ -87,6 +101,9 @@ class ConstantLatency:
 
 class UniformLatency:
     """One-way delay drawn uniformly from ``[low, high]``."""
+
+    #: Every remote sample consumes one uniform draw.
+    draw_free = False
 
     def __init__(self, low_s: float, high_s: float) -> None:
         if not 0 <= low_s <= high_s:
@@ -131,6 +148,11 @@ class TopologyLatency:
             raise ValueError("sigma must be non-negative")
         self.topology = topology
         self.sigma = sigma
+
+    @property
+    def draw_free(self) -> bool:
+        """Jitter-free matrices (``sigma == 0``) never touch the RNG."""
+        return self.sigma == 0.0
 
     def sample(self, src: int, dst: int, rng: np.random.Generator) -> float:
         base = self.topology.one_way_s(src, dst)

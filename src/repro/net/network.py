@@ -22,7 +22,12 @@ from ..sim import Nic, Process, Simulator
 from .latency import ConstantLatency, LatencyModel, sample_per_link
 from .message import HEADER_BYTES, Envelope, payload_size
 
-#: A delay hook receives (now, src, dst, size) and returns extra seconds.
+#: A delay hook receives (now, src, dst, size) and returns extra
+#: seconds.  Contract: hooks must be deterministic functions of their
+#: arguments (plus their own state) and must **not** draw from the
+#: network RNG stream — that is what lets the multicast fast path batch
+#: latency draws around hook calls bit-identically.  A hook needing
+#: randomness takes its own named stream from ``sim.rng``.
 DelayHook = Callable[[float, int, int, int], float]
 
 #: Default NIC bandwidth: 250 Mbit/s — t2.micro's sustainable
@@ -163,35 +168,47 @@ class Network:
         RNG draw sequence) is bit-identical to calling :meth:`send` per
         destination — only cheaper.
 
-        Fast path: when ``_extra_delay`` is provably zero and draw-free
-        (at/after GST or no pre-GST asynchrony, and no delay hooks —
-        the common case), the whole destination vector is sampled in
-        one batched draw (:meth:`LatencyModel.sample_many` where the
-        model provides it), NIC occupancy and delivery times are
-        computed for the batch, and the deliveries enter the event
-        queue through one :meth:`Simulator.schedule_many` bulk insert.
-        Otherwise every destination takes the scalar :meth:`_send_one`
-        path so the latency/extra-delay draw interleaving (part of the
-        reproducibility surface) is preserved exactly.
+        Fast path: the whole destination vector is sampled in one
+        batched draw (:meth:`LatencyModel.sample_many` where the model
+        provides it), pre-GST extra delays are drawn in one batched
+        uniform request, NIC occupancy and delivery times are computed
+        for the batch, and the deliveries enter the event queue through
+        one :meth:`Simulator.schedule_many` bulk insert.  Delay hooks
+        compose with the batch because hooks never consume the network
+        RNG stream (the :data:`DelayHook` contract).  The single case
+        the batch cannot reproduce bit-identically is pre-GST asynchrony
+        with a *draw-consuming* latency model — there the scalar path
+        interleaves latency and extra-delay draws per destination on one
+        stream — so exactly that case falls back to the scalar
+        :meth:`_send_one` loop.
         """
         size = payload_size(payload) + HEADER_BYTES
         now = self.sim.now
-        if self.delay_hooks or (now < self.gst and self.pre_gst_extra > 0):
+        pre_gst = now < self.gst and self.pre_gst_extra > 0
+        if pre_gst and not getattr(self.latency, "draw_free", False):
             send_one = self._send_one
             return [send_one(src, dst, payload, size, now) for dst in dsts]
-        return self._multicast_fast(src, list(dsts), payload, size, now)
+        return self._multicast_fast(src, list(dsts), payload, size, now, pre_gst)
 
     def _multicast_fast(
-        self, src: int, dsts: list[int], payload: Any, size: int, now: float
+        self,
+        src: int,
+        dsts: list[int],
+        payload: Any,
+        size: int,
+        now: float,
+        pre_gst: bool,
     ) -> list[Envelope]:
-        """Vectorized fan-out (no extra delay, batched draws).
+        """Vectorized fan-out (batched draws, batched occupancy).
 
         Every arithmetic step replays the scalar path's float
         operations in the same order (NIC completion times by repeated
-        addition, ``ser_end + prop + 0.0``-free delivery sums), so the
-        produced envelopes are bit-identical to :meth:`_send_one` in a
-        loop — proven by the golden fingerprints and the multicast
-        equivalence property tests.
+        addition, ``(ser_end + prop) + extra`` delivery sums with the
+        extra accumulated ``0.0 + draw`` then ``+= hook`` exactly as
+        :meth:`_extra_delay` does), so the produced envelopes are
+        bit-identical to :meth:`_send_one` in a loop — proven by the
+        golden fingerprints and the multicast equivalence property
+        tests.
         """
         procs = self._procs
         for dst in dsts:
@@ -199,6 +216,7 @@ class Network:
                 # All-or-nothing: reject the whole batch before any RNG
                 # draw, NIC occupancy or scheduling happens.
                 raise KeyError(f"unknown destination {dst}")
+        n_remote = sum(1 for dst in dsts if dst != src)
 
         sample_many = getattr(self.latency, "sample_many", None)
         if sample_many is not None:
@@ -206,16 +224,30 @@ class Network:
         else:
             props = sample_per_link(self.latency, src, dsts, self._rng)
 
+        # Pre-GST extras in one batched draw.  Stream-identical to the
+        # scalar interleaving because this branch is only reachable
+        # with a draw-free latency model (multicast falls back
+        # otherwise): the extras are then the *only* draws, one per
+        # remote destination, in destination order.  ``.tolist()``
+        # yields exact Python floats (reprs feed the fingerprints).
+        extras: list[float] = []
+        if pre_gst and n_remote:
+            extras = self._rng.uniform(
+                0.0, self.pre_gst_extra, size=n_remote
+            ).tolist()
+        hooks = self.delay_hooks
+        has_extra = pre_gst or bool(hooks)
+
         seq = self._seq
         fifo = self.fifo_links
         link_clock = self._link_clock
         nic = self._nics.get(src)
-        # NIC serialization is FIFO repeated addition: copy i completes
-        # at max(now, busy_until) + i * per-copy time, accumulated the
-        # way Resource.occupy would (bit-identical float sums).
-        ser = (size * 8.0) / nic.bandwidth_bps if nic is not None else 0.0
-        ser_end = now if nic is None or nic.busy_until < now else nic.busy_until
-        busy_acc = nic.total_busy if nic is not None else 0.0
+        if nic is not None:
+            # NIC serialization is FIFO repeated addition, accumulated
+            # the way Resource.occupy would (bit-identical float sums).
+            ser_ends = nic.serialize_many(now, size, n_remote)
+        else:
+            ser_ends = [now] * n_remote
 
         envs: list[Envelope] = []
         times: list[float] = []
@@ -223,18 +255,24 @@ class Network:
         append_env = envs.append
         append_time = times.append
         append_args = argss.append
-        n_remote = 0
+        ri = 0
         for dst, prop in zip(dsts, props):
             env = Envelope(src, dst, payload, size, now, 0.0, seq)
             seq += 1
             if src == dst:
-                # Loopback: no NIC occupancy, negligible latency.
+                # Loopback: no NIC occupancy, latency or extra delay.
                 deliver = now + 1e-6
             else:
-                ser_end = ser_end + ser
-                busy_acc += ser
-                n_remote += 1
-                deliver = ser_end + prop
+                deliver = ser_ends[ri] + prop
+                if has_extra:
+                    # Mirror _extra_delay's accumulation exactly.
+                    extra = 0.0
+                    if pre_gst:
+                        extra = extra + extras[ri]
+                    for hook in hooks:
+                        extra += max(0.0, hook(now, src, dst, size))
+                    deliver = deliver + extra
+                ri += 1
                 if fifo:
                     link = (src, dst)
                     deliver = max(deliver, link_clock.get(link, 0.0))
@@ -244,10 +282,6 @@ class Network:
             append_time(deliver)
             append_args((env,))
         self._seq = seq
-        if nic is not None and n_remote:
-            nic.busy_until = ser_end
-            nic.total_busy = busy_acc
-            nic.jobs += n_remote
         self.messages_sent += len(envs)
         self.bytes_sent += size * len(envs)
         if self.message_log is not None:

@@ -231,11 +231,16 @@ class BaseReplica(Process):
         return True
 
     def _reply_clients(self, block: Block, when: float) -> None:
+        # One fused mempool sweep per block instead of one call per
+        # transaction — mark_committed dominated the e2e profile at
+        # 400 txs/block across every replica.  The key list is cached
+        # on the block, shared by all replicas committing it.
+        self.mempool.mark_committed_keys(block.tx_keys())
+        if not self.config.reply_to_clients or not self.clients:
+            return
+        clients_get = self.clients.get
         for tx in block.txs:
-            self.mempool.mark_committed(tx)
-            if not self.config.reply_to_clients:
-                continue
-            dst = self.clients.get(tx.client_id)
+            dst = clients_get(tx.client_id)
             if dst is None:
                 continue
             self.send_at(

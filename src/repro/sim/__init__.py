@@ -12,6 +12,14 @@ from .event import Event, EventQueue
 from .process import Process, Timer
 from .rng import RngRegistry, RngStreamConflict
 from .simulator import SimulationError, Simulator
+from .substrate import (
+    DEFAULT_KERNEL,
+    EventHandle,
+    SubstrateQueue,
+    available_kernels,
+    create_queue,
+    register_kernel,
+)
 
 __all__ = [
     "Cpu",
@@ -25,4 +33,10 @@ __all__ = [
     "RngStreamConflict",
     "SimulationError",
     "Simulator",
+    "DEFAULT_KERNEL",
+    "EventHandle",
+    "SubstrateQueue",
+    "available_kernels",
+    "create_queue",
+    "register_kernel",
 ]

@@ -1,0 +1,319 @@
+"""Array-backed ("columnar") event queue — the second substrate kernel.
+
+The scalar kernel sifts one ``(time, priority, seq, event)`` tuple at a
+time through a C heap.  This kernel instead keeps the bulk of the
+pending schedule in **structured numpy columns** — parallel ``time``
+(f8), ``priority`` (i8) and ``seq`` (i8) arrays sorted ascending, with
+the event payloads (callback, args, label) carried in an aligned
+Python list — and absorbs bulk inserts with one vectorized
+``lexsort`` merge instead of ``k`` individual sifts.  That is the
+``push_many`` shape the network fast path emits for every multicast
+fan-out.
+
+Single pushes land in a small *staging heap* (plain ``heapq`` tuples,
+exactly the scalar kernel's representation); ``pop`` takes the smaller
+of the run head and the staging head.  Because every event carries a
+globally unique ``(time, priority, seq)`` key and both structures pop
+in that key order, the interleaved pop sequence is **identical to one
+big heap** — and therefore identical to the scalar kernel.  The
+kernel-parity golden tests pin that equivalence for all three
+protocols.
+
+Cancellation follows the scalar kernel's soft-delete contract: a
+cancelled event stays in its column/heap slot and is skipped (and
+detached) when it surfaces; merges drop cancelled events for free.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .event import Event
+
+#: Batches at least this large take the vectorized merge; smaller ones
+#: go through the staging heap (a lexsort re-merge would cost more than
+#: it saves).  Pure strategy choice — pop order is unaffected.
+MERGE_THRESHOLD = 16
+
+
+def _empty_f8() -> np.ndarray:
+    return np.empty(0, dtype=np.float64)
+
+
+def _empty_i8() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+class ColumnarEventQueue:
+    """Sorted columnar run + staging heap, popping in global key order."""
+
+    __slots__ = (
+        "_run_time",
+        "_run_prio",
+        "_run_seq",
+        "_run_keys",
+        "_run_events",
+        "_head",
+        "_stage",
+        "_next_seq",
+        "_live",
+    )
+
+    def __init__(self) -> None:
+        # The columnar store: [head:] is sorted by (time, priority, seq).
+        self._run_time = _empty_f8()
+        self._run_prio = _empty_i8()
+        self._run_seq = _empty_i8()
+        #: Decoded (time, priority, seq) tuples aligned with the run —
+        #: the pop path compares plain Python tuples, not numpy scalars.
+        self._run_keys: list[tuple[float, int, int]] = []
+        self._run_events: list[Event] = []
+        self._head = 0
+        #: Staging heap of (time, priority, seq, Event) for single pushes.
+        self._stage: list[tuple[float, int, int, Event]] = []
+        self._next_seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Events still queued, *including* cancelled ones."""
+        return (len(self._run_events) - self._head) + len(self._stage)
+
+    def live_count(self) -> int:
+        """Events that will still fire (cancelled ones excluded)."""
+        return self._live
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        ev = Event(time, priority, seq, callback, args, label)
+        ev._queue = self
+        heappush(self._stage, (time, priority, seq, ev))
+        self._live += 1
+        return ev
+
+    def push_many(
+        self,
+        times: Sequence[float],
+        callback: Callable[..., None],
+        argss: Sequence[tuple],
+        priority: int = 0,
+        label: str = "",
+    ) -> list[Event]:
+        """Bulk insert with scalar-identical sequence numbering.
+
+        Large batches are merged into the columnar run with one
+        ``np.lexsort`` over the concatenated columns — the array
+        analogue of extend-and-heapify — which also compacts away any
+        cancelled events and drains the staging heap, so subsequent
+        pops read a single sorted run.
+        """
+        k = min(len(times), len(argss))
+        if k < MERGE_THRESHOLD:
+            events = []
+            seq = self._next_seq
+            stage = self._stage
+            for time, args in zip(times, argss):
+                ev = Event(time, priority, seq, callback, args, label)
+                ev._queue = self
+                events.append(ev)
+                heappush(stage, (time, priority, seq, ev))
+                seq += 1
+            self._next_seq = seq
+            self._live += len(events)
+            return events
+
+        seq0 = self._next_seq
+        self._next_seq = seq0 + k
+        events = [
+            Event(t, priority, seq0 + i, callback, argss[i], label)
+            for i, t in enumerate(times[:k])
+        ]
+        for ev in events:
+            ev._queue = self
+        self._live += k
+        b_time = np.fromiter((t for t in times[:k]), dtype=np.float64, count=k)
+        b_prio = np.full(k, priority, dtype=np.int64)
+        b_seq = np.arange(seq0, seq0 + k, dtype=np.int64)
+        self._merge(b_time, b_prio, b_seq, events)
+        return events
+
+    def _merge(
+        self,
+        b_time: np.ndarray,
+        b_prio: np.ndarray,
+        b_seq: np.ndarray,
+        b_events: list[Event],
+    ) -> None:
+        """Rebuild the sorted run from (live run remainder + staged
+        events + new batch) with one vectorized lexsort."""
+        head = self._head
+        old_events = self._run_events[head:]
+        o_time = self._run_time[head:]
+        o_prio = self._run_prio[head:]
+        o_seq = self._run_seq[head:]
+        kept = [i for i, ev in enumerate(old_events) if not ev.cancelled]
+        if len(kept) != len(old_events):
+            for ev in old_events:
+                if ev.cancelled:
+                    ev._queue = None
+            idx = np.asarray(kept, dtype=np.intp)
+            o_time, o_prio, o_seq = o_time[idx], o_prio[idx], o_seq[idx]
+            old_events = [old_events[i] for i in kept]
+
+        stage_events: list[Event] = []
+        parts_t = [o_time, b_time]
+        parts_p = [o_prio, b_prio]
+        parts_s = [o_seq, b_seq]
+        stage = self._stage
+        if stage:
+            live = [entry for entry in stage if not entry[3].cancelled]
+            for entry in stage:
+                if entry[3].cancelled:
+                    entry[3]._queue = None
+            stage.clear()
+            if live:
+                stage_events = [entry[3] for entry in live]
+                parts_t.insert(1, np.fromiter(
+                    (entry[0] for entry in live), np.float64, len(live)
+                ))
+                parts_p.insert(1, np.fromiter(
+                    (entry[1] for entry in live), np.int64, len(live)
+                ))
+                parts_s.insert(1, np.fromiter(
+                    (entry[2] for entry in live), np.int64, len(live)
+                ))
+
+        new_t = np.concatenate(parts_t)
+        new_p = np.concatenate(parts_p)
+        new_s = np.concatenate(parts_s)
+        # lexsort: last key is primary -> (time, priority, seq); seq is
+        # globally unique, so the order is total and deterministic.
+        order = np.lexsort((new_s, new_p, new_t))
+        self._run_time = new_t[order]
+        self._run_prio = new_p[order]
+        self._run_seq = new_s[order]
+        combined = old_events + stage_events + b_events
+        self._run_events = [combined[i] for i in order.tolist()]
+        self._run_keys = list(
+            zip(
+                self._run_time.tolist(),
+                self._run_prio.tolist(),
+                self._run_seq.tolist(),
+            )
+        )
+        self._head = 0
+
+    # ------------------------------------------------------------------
+    # Removal
+    # ------------------------------------------------------------------
+    def _reset_run_if_drained(self) -> None:
+        if self._head >= len(self._run_events):
+            self._run_events = []
+            self._run_keys = []
+            self._run_time = _empty_f8()
+            self._run_prio = _empty_i8()
+            self._run_seq = _empty_i8()
+            self._head = 0
+
+    def _skim(self) -> Optional[tuple[float, int, int]]:
+        """Discard (and detach) cancelled heads from both structures,
+        then return the key of the next *live* entry, or ``None``."""
+        stage = self._stage
+        while True:
+            head = self._head
+            if head < len(self._run_events):
+                rk = self._run_keys[head]
+                if stage and stage[0] < rk:
+                    entry = stage[0]
+                    ev = entry[3]
+                    if ev.cancelled:
+                        heappop(stage)
+                        ev._queue = None
+                        continue
+                    return (entry[0], entry[1], entry[2])
+                ev = self._run_events[head]
+                if ev.cancelled:
+                    self._head = head + 1
+                    ev._queue = None
+                    self._reset_run_if_drained()
+                    continue
+                return rk
+            if stage:
+                entry = stage[0]
+                ev = entry[3]
+                if ev.cancelled:
+                    heappop(stage)
+                    ev._queue = None
+                    continue
+                return (entry[0], entry[1], entry[2])
+            return None
+
+    def _take_live_head(self) -> Event:
+        """Remove the live head (callers must have :meth:`_skim`-ed)."""
+        stage = self._stage
+        head = self._head
+        if head < len(self._run_events):
+            if stage and stage[0] < self._run_keys[head]:
+                return heappop(stage)[3]
+            ev = self._run_events[head]
+            self._head = head + 1
+            self._reset_run_if_drained()
+            return ev
+        return heappop(stage)[3]
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or ``None`` if drained."""
+        if self._skim() is None:
+            return None
+        ev = self._take_live_head()
+        ev._queue = None
+        self._live -= 1
+        return ev
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[Event]:
+        """Pop the next live event firing at or before ``until``
+        (``None`` = no bound).  Returns ``None`` when drained or when
+        the next live event lies beyond the bound — disambiguate with
+        :meth:`live_count`."""
+        key = self._skim()
+        if key is None or (until is not None and key[0] > until):
+            return None
+        ev = self._take_live_head()
+        ev._queue = None
+        self._live -= 1
+        return ev
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event without removing it."""
+        key = self._skim()
+        return None if key is None else key[0]
+
+    def clear(self) -> None:
+        for ev in self._run_events[self._head:]:
+            ev._queue = None
+        for entry in self._stage:
+            entry[3]._queue = None
+        self._run_events = []
+        self._run_keys = []
+        self._run_time = _empty_f8()
+        self._run_prio = _empty_i8()
+        self._run_seq = _empty_i8()
+        self._head = 0
+        self._stage = []
+        self._live = 0
+
+
+__all__ = ["ColumnarEventQueue", "MERGE_THRESHOLD"]

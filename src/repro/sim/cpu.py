@@ -43,6 +43,34 @@ class Resource:
         self.jobs += 1
         return end
 
+    def occupy_many(self, now: float, duration: float, count: int) -> list[float]:
+        """FIFO-occupy the resource for ``count`` equal jobs submitted
+        together at ``now``; returns each job's completion time.
+
+        Bit-identical to ``count`` sequential :meth:`occupy` calls with
+        the same ``now`` — the completion times accumulate by repeated
+        float addition, never ``start + i * duration`` (which rounds
+        differently).  This is the batched-occupancy arithmetic behind
+        the multicast fan-out fast path: one call charges a whole
+        broadcast's serialization instead of one call per destination.
+        """
+        if duration < 0:
+            raise ValueError(f"negative duration {duration!r}")
+        if count <= 0:
+            return []
+        end = now if self.busy_until < now else self.busy_until
+        total = self.total_busy
+        out: list[float] = []
+        append = out.append
+        for _ in range(count):
+            end = end + duration
+            total = total + duration
+            append(end)
+        self.busy_until = end
+        self.total_busy = total
+        self.jobs += count
+        return out
+
     def queueing_delay(self, now: float) -> float:
         """How long work submitted at ``now`` would wait before starting."""
         return max(0.0, self.busy_until - now)
@@ -79,6 +107,12 @@ class Nic(Resource):
     def serialize(self, now: float, nbytes: int) -> float:
         """Occupy the NIC to push ``nbytes`` out; returns completion time."""
         return self.occupy(now, (nbytes * 8.0) / self.bandwidth_bps)
+
+    def serialize_many(self, now: float, nbytes: int, count: int) -> list[float]:
+        """Occupy the NIC for ``count`` equal-size copies submitted at
+        ``now`` (a multicast fan-out); returns each copy's completion
+        time, bit-identical to ``count`` :meth:`serialize` calls."""
+        return self.occupy_many(now, (nbytes * 8.0) / self.bandwidth_bps, count)
 
 
 __all__ = ["Resource", "Cpu", "Nic"]

@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
-from .event import Event, EventQueue
+from .event import Event
 from .rng import RngRegistry
+from .substrate import DEFAULT_KERNEL, create_queue
 
 
 class SimulationError(RuntimeError):
@@ -30,15 +31,23 @@ class Simulator:
     trace:
         Optional callable ``(time, label) -> None`` invoked for every
         event executed, useful for debugging and trace tests.
+    kernel:
+        Name of the event-queue substrate to drive (see
+        :mod:`repro.sim.substrate`): ``"scalar"`` (tuple heap, default)
+        or ``"columnar"`` (array-backed).  Every kernel produces
+        bit-identical schedules for a fixed seed; the choice only
+        affects wall-clock speed.
     """
 
     def __init__(
         self,
         seed: int = 0,
         trace: Optional[Callable[[float, str], None]] = None,
+        kernel: str = DEFAULT_KERNEL,
     ) -> None:
         self._now = 0.0
-        self._queue = EventQueue()
+        self.kernel = kernel
+        self._queue = create_queue(kernel)
         self.rng = RngRegistry(seed)
         self.trace = trace
         self.events_executed = 0

@@ -1,0 +1,156 @@
+"""The swappable simulation-kernel substrate.
+
+The protocol layer is restricted (machine-checked by the
+``substrate-boundary`` lint pass) to a *narrow* surface of the
+simulation kernel: scheduling, the clock, named RNG streams, resource
+occupancy and event cancellation.  This module makes that surface an
+explicit, swappable contract:
+
+* :class:`EventHandle` / :class:`SubstrateQueue` — structural types for
+  the two objects the boundary exposes (a scheduled event you can
+  cancel, and the deterministic queue the simulator drives);
+* a **kernel registry** mapping a kernel name to an event-queue
+  factory.  ``Simulator(kernel="columnar")`` swaps the entire event
+  machinery without the protocol layer noticing — both kernels are
+  required (and tested) to produce bit-identical run fingerprints.
+
+Built-in kernels
+----------------
+
+``scalar``
+    The tuple-heap :class:`~repro.sim.event.EventQueue` — C ``heapq``
+    sifts over plain ``(time, priority, seq, event)`` tuples.  Default.
+``columnar``
+    :class:`~repro.sim.columnar.ColumnarEventQueue` — structured numpy
+    time/priority/seq columns with batched lexsort merges for bulk
+    inserts and a small staging heap for scalar pushes.
+
+Adding a backend is three steps (see docs/invariants.md): implement
+the :class:`SubstrateQueue` surface, prove bit-identity against the
+golden fingerprints under both kernels, and register a factory here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class EventHandle(Protocol):
+    """What the substrate hands back for a scheduled callback.
+
+    The protocol layer may read the firing ``time``, test
+    ``cancelled``, and ``cancel()`` — exactly the
+    :class:`~repro.sim.event.Event` subset in the SUBSTRATE_API
+    manifest.
+    """
+
+    time: float
+    cancelled: bool
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class SubstrateQueue(Protocol):
+    """Deterministic event-queue contract every kernel implements.
+
+    Ordering is total and identical across kernels: events pop in
+    ``(time, priority, seq)`` order, where ``seq`` is the insertion
+    counter — so for a fixed seed, every kernel replays the exact same
+    schedule and the golden run fingerprints are kernel-independent.
+    """
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = (),
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle: ...
+
+    def push_many(
+        self,
+        times: Sequence[float],
+        callback: Callable[..., None],
+        argss: Sequence[tuple],
+        priority: int = 0,
+        label: str = "",
+    ) -> list: ...
+
+    def pop(self) -> Optional[EventHandle]: ...
+
+    def pop_next(self, until: Optional[float] = None) -> Optional[EventHandle]: ...
+
+    def peek_time(self) -> Optional[float]: ...
+
+    def live_count(self) -> int: ...
+
+    def clear(self) -> None: ...
+
+    def __len__(self) -> int: ...
+
+
+#: Kernel used when no flag/config selects one.  The scalar tuple heap
+#: stays the default until columnar parity is proven on every new
+#: scenario (the kernel-parity test suite).
+DEFAULT_KERNEL = "scalar"
+
+_KERNELS: dict[str, Callable[[], "SubstrateQueue"]] = {}
+
+
+def register_kernel(name: str, factory: Callable[[], "SubstrateQueue"]) -> None:
+    """Register (or replace) a kernel's event-queue factory."""
+    if not name:
+        raise ValueError("kernel name must be non-empty")
+    _KERNELS[name] = factory
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Registered kernel names, sorted (CLI choices, error messages)."""
+    return tuple(sorted(_KERNELS))
+
+
+def create_queue(kernel: str = DEFAULT_KERNEL) -> "SubstrateQueue":
+    """Instantiate the event queue for ``kernel``.
+
+    Raises ``ValueError`` (not ``KeyError``) on unknown names so config
+    typos surface as clean CLI errors.
+    """
+    try:
+        factory = _KERNELS[kernel]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation kernel {kernel!r}; "
+            f"available: {', '.join(available_kernels())}"
+        ) from None
+    return factory()
+
+
+def _scalar_factory() -> "SubstrateQueue":
+    from .event import EventQueue
+
+    return EventQueue()
+
+
+def _columnar_factory() -> "SubstrateQueue":
+    # Imported lazily: the columnar kernel pulls in numpy, which the
+    # scalar default should not pay for at import time.
+    from .columnar import ColumnarEventQueue
+
+    return ColumnarEventQueue()
+
+
+register_kernel("scalar", _scalar_factory)
+register_kernel("columnar", _columnar_factory)
+
+
+__all__ = [
+    "DEFAULT_KERNEL",
+    "EventHandle",
+    "SubstrateQueue",
+    "available_kernels",
+    "create_queue",
+    "register_kernel",
+]

@@ -12,8 +12,8 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Optional
 
-from ..crypto import Digest, digest_of
-from .transaction import Transaction
+from ..crypto import Digest, digest_of, digest_of_boolfree
+from .transaction import TX_OVERHEAD_BYTES, Transaction
 
 
 @dataclass(frozen=True)
@@ -27,12 +27,17 @@ class Block:
 
     @cached_property
     def hash(self) -> Digest:
-        return digest_of(
+        # The field tuple is structurally bool-free (digest, ints,
+        # strings, int tuples), so the bool-disambiguation walk of
+        # plain digest_of — ~2000 nested values for a 400-tx block —
+        # can be skipped while keeping its process-wide memo (a block
+        # re-built with identical fields hashes its tx tuple once).
+        return digest_of_boolfree(
             "block",
             self.parent,
             self.view,
             self.proposer,
-            tuple(t.encoding() for t in self.txs),
+            tuple([t.encoding() for t in self.txs]),
         )
 
     def extends(self, h: Digest) -> bool:
@@ -40,8 +45,27 @@ class Block:
         return self.parent == h
 
     @cached_property
+    def _tx_keys(self) -> list[tuple[int, int]]:
+        return [(t.client_id, t.tx_id) for t in self.txs]
+
+    def tx_keys(self) -> list[tuple[int, int]]:
+        """Keys of this block's transactions, in block order.
+
+        Cached on the (immutable) block so the n replicas committing
+        it share one key list instead of each rebuilding 400 tuples
+        for their mempool sweep.  Callers must not mutate the list.
+        """
+        return self._tx_keys
+
+    @cached_property
     def _wire_size(self) -> int:
-        return 8 + sum(t.wire_size() for t in self.txs)
+        # Fixed per-tx overhead folded out of the loop; only payload
+        # sizes need summing.
+        return (
+            8
+            + TX_OVERHEAD_BYTES * len(self.txs)
+            + sum(t.payload_bytes for t in self.txs)
+        )
 
     def wire_size(self) -> int:
         """Bytes on the wire: transactions carry their own 40 B overhead

@@ -90,8 +90,13 @@ class ExecutionLog:
         self.blocks.append(block)
         self.executed.add(block.hash)
         self._exec_times.append(now)
+        # ``op is None`` is the documented no-op (synthetic saturated
+        # workload); skipping the call entirely saves 400 dispatches
+        # per block without changing any state machine's behaviour.
+        apply = self.state.apply
         for tx in block.txs:
-            self.state.apply(tx.op)
+            if tx.op is not None:
+                apply(tx.op)
         self.txs_executed += len(block.txs)
 
     def head_hash(self) -> Optional[Digest]:

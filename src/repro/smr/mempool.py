@@ -71,7 +71,11 @@ class Mempool:
         self._pending: OrderedDict[tuple[int, int], Transaction] = OrderedDict()
         #: Bounded FIFO of recently seen keys (values unused); oldest
         #: insertion evicted first, matching the KeyRing memo pattern.
-        self._seen: OrderedDict[tuple[int, int], None] = OrderedDict()
+        #: A plain dict (insertion-ordered since 3.7): eviction pops
+        #: the first iteration key, and re-assigning an existing key
+        #: keeps its position — the two properties the FIFO needs —
+        #: while inserts stay cheap on the commit hot path.
+        self._seen: dict[tuple[int, int], None] = {}
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -81,7 +85,7 @@ class Mempool:
         if k in seen:
             return
         if len(seen) >= self.dedup_window:
-            seen.popitem(last=False)
+            del seen[next(iter(seen))]
         seen[k] = None
 
     def seen_recently(self, k: tuple[int, int]) -> bool:
@@ -103,6 +107,46 @@ class Mempool:
         k = (tx.client_id, tx.tx_id)
         self._remember(k)
         self._pending.pop(k, None)
+
+    def mark_committed_many(self, txs) -> None:
+        """Drop a whole committed block's transactions at once.
+
+        Equivalent to :meth:`mark_committed` per transaction (``txs``
+        must be a sequence); see :meth:`mark_committed_keys`.
+        """
+        self.mark_committed_keys([(tx.client_id, tx.tx_id) for tx in txs])
+
+    def mark_committed_keys(self, keys: list[tuple[int, int]]) -> None:
+        """Drop committed transactions by key — same dedup-window
+        insertion order and eviction as per-key :meth:`mark_committed`.
+
+        Taking pre-built keys lets callers share one key list across
+        all replicas committing the same block
+        (:meth:`~repro.smr.block.Block.tx_keys`).  Every replica runs
+        this once per committed block (400 txs in the saturated
+        evaluation), which made the per-call overhead of the scalar
+        method the single hottest line in the e2e profile.
+        """
+        seen = self._seen
+        pending = self._pending
+        if not pending and len(seen) + len(keys) <= self.dedup_window:
+            # Bulk path (the saturated steady state): nothing pending
+            # to drop and no eviction can trigger, so one C-level
+            # update replaces per-key membership tests.  Equivalent to
+            # the loop: assigning an existing key leaves its position
+            # (and ``None`` value) unchanged, exactly like
+            # ``_remember``'s early return; fresh keys append in
+            # iteration order.
+            seen.update(dict.fromkeys(keys))
+            return
+        pending_pop = pending.pop
+        window = self.dedup_window
+        for k in keys:
+            if k not in seen:
+                if len(seen) >= window:
+                    del seen[next(iter(seen))]
+                seen[k] = None
+            pending_pop(k, None)
 
     def next_batch(self, now: float = 0.0) -> tuple[Transaction, ...]:
         """Form the next block's transaction list."""

@@ -8,7 +8,6 @@ payloads of 0 B (protocol overhead) and 256 B (trend with block size).
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -49,19 +48,46 @@ class TxFactory:
     def __init__(self, client_id: int, payload_bytes: int = 0) -> None:
         self.client_id = client_id
         self.payload_bytes = payload_bytes
-        self._ids = itertools.count()
+        self._next_id = 0
 
     def make(self, now: float = 0.0, op: Any = None) -> Transaction:
+        tx_id = self._next_id
+        self._next_id = tx_id + 1
         return Transaction(
             client_id=self.client_id,
-            tx_id=next(self._ids),
+            tx_id=tx_id,
             payload_bytes=self.payload_bytes,
             op=op,
             submit_time=now,
         )
 
     def batch(self, n: int, now: float = 0.0) -> tuple[Transaction, ...]:
-        return tuple(self.make(now) for _ in range(n))
+        """``n`` fresh transactions; same ids as ``n`` :meth:`make` calls.
+
+        Constructs via ``__new__`` + ``object.__setattr__`` — the same
+        writes the frozen dataclass ``__init__`` performs, minus its
+        call overhead, which roughly halves the cost of minting the
+        saturated workload's 400 transactions per block (one of the
+        hottest paths in the e2e profile).  The instances are
+        indistinguishable from :meth:`make`'s.
+        """
+        start = self._next_id
+        self._next_id = start + n
+        cid = self.client_id
+        pb = self.payload_bytes
+        new = object.__new__
+        sets = object.__setattr__
+        out = []
+        append = out.append
+        for tx_id in range(start, start + n):
+            tx = new(Transaction)
+            sets(tx, "client_id", cid)
+            sets(tx, "tx_id", tx_id)
+            sets(tx, "payload_bytes", pb)
+            sets(tx, "op", None)
+            sets(tx, "submit_time", now)
+            append(tx)
+        return tuple(out)
 
 
 __all__ = ["Transaction", "TxFactory", "TX_OVERHEAD_BYTES"]

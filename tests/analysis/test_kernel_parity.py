@@ -1,0 +1,213 @@
+"""Kernel-parity gate: scalar and columnar substrates are bit-identical.
+
+The columnar kernel is only allowed to be *faster*: for every scenario
+the repo exercises — the three protocols' baseline runs, smoke-size
+fig7/ablation/degraded configurations, pre-GST asynchrony and
+delay-hook injection — both kernels must produce byte-identical message
+timelines and decided chains.  Any divergence means the array kernel
+changed observable scheduling and must be treated as a correctness
+bug, never re-pinned.
+"""
+
+import pytest
+
+from repro.analysis.sanitizer import _hash_chain, _hash_timeline, fingerprint_run
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults import every_kth_view, forced_execution_factory
+from repro.net.latency import UniformLatency
+
+PROTOCOLS = ("oneshot", "damysus", "hotstuff")
+KERNELS = ("scalar", "columnar")
+
+
+def _run_hashes(kernel, replica_factory=None, **overrides):
+    """Fingerprint one ``run_experiment`` scenario under ``kernel``."""
+    cfg = ExperimentConfig(kernel=kernel, **overrides)
+    run = run_experiment(cfg, replica_factory=replica_factory, enable_message_log=True)
+    return (
+        run.sim.events_executed,
+        len(run.network.message_log),
+        _hash_timeline(run.network.message_log),
+        _hash_chain(run.collector),
+    )
+
+
+# ----------------------------------------------------------------------
+# Baseline goldens (same scenario the pinned fingerprints use)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_baseline_fingerprints_identical_across_kernels(protocol):
+    fps = {
+        kernel: fingerprint_run(
+            protocol, seed=7, f=1, target_blocks=6, kernel=kernel
+        )[0]
+        for kernel in KERNELS
+    }
+    assert fps["columnar"] == fps["scalar"]
+    assert fps["columnar"].digest() == fps["scalar"].digest()
+
+
+def test_columnar_matches_pre_fastpath_golden_digest():
+    """Transitivity check made explicit: the columnar kernel reproduces
+    the digest pinned in test_fastpath_determinism.GOLDEN, so parity
+    holds against the *pre-fast-path* behaviour, not just today's."""
+    from .test_fastpath_determinism import GOLDEN
+
+    for protocol, (events, messages, decisions, digest) in GOLDEN.items():
+        fp, _ = fingerprint_run(
+            protocol, seed=7, f=1, target_blocks=6, kernel="columnar"
+        )
+        assert fp.events == events
+        assert fp.messages == messages
+        assert fp.decisions == decisions
+        assert fp.digest() == digest
+
+
+# ----------------------------------------------------------------------
+# Smoke-size experiment configs (fig7 / ablation / degraded)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_fig7_smoke_config_identical_across_kernels(protocol):
+    """Fig. 7 at smoke size: an ``eu`` topology deployment, whose
+    per-link gaussian jitter makes every remote latency a drawn value —
+    the batched ``sample_many`` path under both kernels."""
+    results = [
+        _run_hashes(
+            kernel,
+            protocol=protocol,
+            f=1,
+            payload_bytes=0,
+            deployment="eu",
+            target_blocks=4,
+            seed=7,
+        )
+        for kernel in KERNELS
+    ]
+    assert results[0] == results[1]
+
+
+def test_ablation_smoke_config_identical_across_kernels():
+    """Degraded-execution ablation at smoke size: forced catch-up every
+    other view exercises the abnormal-path timers and cancellations."""
+    factory = forced_execution_factory("catchup", every_kth_view(2))
+    results = [
+        _run_hashes(
+            kernel,
+            replica_factory=factory,
+            protocol="oneshot",
+            f=1,
+            deployment="local",
+            local_latency_s=0.005,
+            timeout_base=0.2,
+            target_blocks=6,
+            seed=23,
+        )
+        for kernel in KERNELS
+    ]
+    assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("protocol", PROTOCOLS)
+def test_degraded_smoke_config_identical_across_kernels(protocol):
+    """Sec. VIII-d degraded conditions at smoke size: 10 ms links and
+    256 B payloads (nonzero NIC serialization per transaction)."""
+    results = [
+        _run_hashes(
+            kernel,
+            protocol=protocol,
+            f=1,
+            payload_bytes=256,
+            deployment="local",
+            local_latency_s=0.010,
+            timeout_base=0.2,
+            target_blocks=4,
+            seed=17,
+        )
+        for kernel in KERNELS
+    ]
+    assert results[0] == results[1]
+
+
+# ----------------------------------------------------------------------
+# Pre-GST asynchrony and delay hooks (the paths the vectorized
+# multicast had to reproduce draw-for-draw)
+# ----------------------------------------------------------------------
+def test_pre_gst_scenario_identical_across_kernels():
+    """Draw-free latency + pre-GST extras: the batched-uniform fast
+    path.  The extras are real RNG draws, so this pins stream identity
+    through schedule_many bulk inserts on both kernels."""
+    fps = {
+        kernel: fingerprint_run(
+            "oneshot",
+            seed=11,
+            f=1,
+            target_blocks=6,
+            gst=0.05,
+            pre_gst_extra=0.01,
+            kernel=kernel,
+        )[0]
+        for kernel in KERNELS
+    }
+    assert fps["columnar"] == fps["scalar"]
+
+
+def test_pre_gst_draw_consuming_fallback_identical_across_kernels():
+    """Pre-GST with a draw-consuming latency model takes the scalar
+    per-destination fallback (interleaved draws); both kernels must
+    still replay it identically."""
+    fps = {
+        kernel: fingerprint_run(
+            "oneshot",
+            seed=11,
+            f=1,
+            target_blocks=6,
+            latency=UniformLatency(0.001, 0.004),
+            gst=0.05,
+            pre_gst_extra=0.01,
+            kernel=kernel,
+        )[0]
+        for kernel in KERNELS
+    }
+    assert fps["columnar"] == fps["scalar"]
+
+
+def _install_hook(network):
+    # Deterministic per-link penalty (DelayHook contract: no RNG use).
+    network.delay_hooks.append(
+        lambda now, src, dst, size: ((src * 7 + dst * 13) % 5) * 1e-4
+    )
+
+
+def test_delay_hook_scenario_identical_across_kernels():
+    fps = {
+        kernel: fingerprint_run(
+            "oneshot",
+            seed=13,
+            f=1,
+            target_blocks=6,
+            setup=_install_hook,
+            kernel=kernel,
+        )[0]
+        for kernel in KERNELS
+    }
+    assert fps["columnar"] == fps["scalar"]
+
+
+def test_pre_gst_plus_delay_hook_scenario_identical_across_kernels():
+    """The combined case: batched pre-GST uniforms *and* hook extras
+    accumulated per destination, under both kernels."""
+    fps = {
+        kernel: fingerprint_run(
+            "damysus",
+            seed=13,
+            f=1,
+            target_blocks=6,
+            gst=0.05,
+            pre_gst_extra=0.01,
+            setup=_install_hook,
+            kernel=kernel,
+        )[0]
+        for kernel in KERNELS
+    }
+    assert fps["columnar"] == fps["scalar"]

@@ -114,6 +114,67 @@ def test_pre_gst_fallback_matches_scalar_interleaving(latency, seed, rounds):
     ]
 
 
+draw_free_latencies = st.sampled_from(
+    [ConstantLatency(0.002), TopologyLatency(WORLD11, sigma=0.0)]
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    latency=draw_free_latencies,
+    seed=st.integers(min_value=0, max_value=50),
+    rounds=st.lists(dst_vectors, min_size=1, max_size=4),
+)
+def test_pre_gst_batched_extras_match_scalar_draws(latency, seed, rounds):
+    """With a *draw-free* latency model, pre-GST extras are the only
+    draws on the net stream, so the fast path batches them in one
+    uniform request — which must be stream-identical to the scalar
+    path's one-draw-per-destination interleaving."""
+    sim_a, net_a = _net(N, latency, False, seed, pre_gst=0.3, gst=10_000.0)
+    sim_b, net_b = _net(N, latency, False, seed, pre_gst=0.3, gst=10_000.0)
+    for dsts in rounds:
+        net_a.multicast(0, dsts, "payload")
+        _scalar_reference(net_b, sim_b, 0, dsts, "payload")
+        sim_a.run()
+        sim_b.run()
+    assert [_env_tuple(e) for e in net_a.message_log] == [
+        _env_tuple(e) for e in net_b.message_log
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    latency=latencies,
+    pre_gst=st.booleans(),
+    seed=st.integers(min_value=0, max_value=50),
+    rounds=st.lists(dst_vectors, min_size=1, max_size=4),
+)
+def test_delay_hooks_compose_with_fast_path(latency, pre_gst, seed, rounds):
+    """Deterministic delay hooks (the DelayHook contract: no network-RNG
+    draws) must not force the scalar path — batched multicast with hooks
+    installed stays bit-identical to the per-destination reference,
+    including hook extras clamped at zero and stacked hooks."""
+    extra = 0.3 if pre_gst else 0.0
+    gst = 10_000.0 if pre_gst else 0.0
+    sim_a, net_a = _net(N, latency, False, seed, pre_gst=extra, gst=gst)
+    sim_b, net_b = _net(N, latency, False, seed, pre_gst=extra, gst=gst)
+    hooks = [
+        lambda now, s, d, size: ((s * 7 + d * 13) % 5) * 1e-4,
+        lambda now, s, d, size: -1.0 if d % 2 else 0.002,  # clamped to 0
+    ]
+    net_a.delay_hooks.extend(hooks)
+    net_b.delay_hooks.extend(hooks)
+    for dsts in rounds:
+        net_a.multicast(0, dsts, "payload")
+        _scalar_reference(net_b, sim_b, 0, dsts, "payload")
+        sim_a.run()
+        sim_b.run()
+    assert [_env_tuple(e) for e in net_a.message_log] == [
+        _env_tuple(e) for e in net_b.message_log
+    ]
+    assert net_a.nic(0).busy_until == net_b.nic(0).busy_until
+
+
 @settings(max_examples=40, deadline=None)
 @given(
     latency=latencies,

@@ -220,6 +220,58 @@ def test_cli_bench_net_suite_smoke(tmp_path):
     assert not (tmp_path / "BENCH_crypto.json").exists()
 
 
+def test_cli_bench_kernel_suite_columnar_smoke(tmp_path):
+    """``--kernel columnar`` runs the kernel tier on the array-backed
+    substrate — including the bulk-insert metric the columnar kernel's
+    lexsort merge targets — and exits 0 on a first (baseline) run."""
+    out = str(tmp_path)
+    assert (
+        main(
+            ["bench", "--quick", "--suite", "kernel", "--kernel", "columnar",
+             "--output-dir", out]
+        )
+        == 0
+    )
+    kernel = BenchReport.load(tmp_path / "BENCH_kernel.json")
+    assert {
+        "chained_events_per_sec",
+        "push_many_drain_events_per_sec",
+    } <= set(kernel.metrics)
+
+
+def test_cli_bench_unknown_kernel_rejected(tmp_path, capsys):
+    with pytest.raises(SystemExit):
+        main(["bench", "--quick", "--kernel", "vectorised",
+              "--output-dir", str(tmp_path)])
+
+
+def test_cli_bench_profile_prints_table_and_spares_baselines(tmp_path):
+    """--profile wraps the suite in cProfile, prints the cumulative-time
+    table, and never writes baselines (profiling skews the rates)."""
+    import contextlib
+    import io
+
+    out = str(tmp_path)
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        code = main(
+            ["bench", "--quick", "--suite", "kernel", "--profile",
+             "--profile-top", "5", "--output-dir", out]
+        )
+    assert code == 0
+    text = buf.getvalue()
+    assert "cumulative" in text
+    assert not (tmp_path / "BENCH_kernel.json").exists()
+
+
+def test_profile_call_returns_result_and_table():
+    from repro.bench import profile_call
+
+    result, table = profile_call(lambda: sum(range(1000)), top_n=3)
+    assert result == sum(range(1000))
+    assert "cumulative" in table
+
+
 def test_cli_bench_net_regression_exits_nonzero(tmp_path):
     impossible = _report(
         "net",

@@ -1,0 +1,337 @@
+"""Unit tests for the array-backed columnar event queue.
+
+The columnar kernel must be behaviourally indistinguishable from the
+scalar tuple heap: same pop order for the same pushes, same soft-delete
+cancellation, same ``push_many`` sequence numbering.  The golden
+kernel-parity tests (tests/analysis/test_kernel_parity.py) pin that at
+whole-run scale; these tests pin it at the data-structure level,
+exercising both the staging-heap and the lexsort-merge insert paths.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.columnar import MERGE_THRESHOLD, ColumnarEventQueue
+from repro.sim.event import EventQueue
+from repro.sim.substrate import (
+    DEFAULT_KERNEL,
+    SubstrateQueue,
+    available_kernels,
+    create_queue,
+)
+
+#: A batch size guaranteed to take the vectorized lexsort merge.
+BIG = MERGE_THRESHOLD + 4
+
+
+def drain(q):
+    out = []
+    while (ev := q.pop()) is not None:
+        out.append(ev)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Ordering
+# ----------------------------------------------------------------------
+def test_push_pop_orders_by_time():
+    q = ColumnarEventQueue()
+    q.push(2.0, lambda: None, label="b")
+    q.push(1.0, lambda: None, label="a")
+    q.push(3.0, lambda: None, label="c")
+    assert [ev.label for ev in drain(q)] == ["a", "b", "c"]
+
+
+def test_equal_times_fire_in_insertion_order():
+    q = ColumnarEventQueue()
+    for i in range(10):
+        q.push(1.0, lambda: None, (i,))
+    assert [ev.args[0] for ev in drain(q)] == list(range(10))
+
+
+def test_priority_breaks_ties_before_seq():
+    q = ColumnarEventQueue()
+    q.push(1.0, lambda: None, label="low", priority=1)
+    q.push(1.0, lambda: None, label="high", priority=0)
+    assert [ev.label for ev in drain(q)] == ["high", "low"]
+
+
+def test_merged_run_and_staging_heap_pop_in_global_order():
+    """Events split across the sorted run (big push_many) and the
+    staging heap (singles) must interleave by (time, priority, seq)."""
+    q = ColumnarEventQueue()
+    q.push_many([float(2 * i) for i in range(BIG)], lambda: None, [()] * BIG)
+    for i in range(5):
+        q.push(float(2 * i + 1), lambda: None)
+    times = [ev.time for ev in drain(q)]
+    assert times == sorted(times)
+    assert len(times) == BIG + 5
+
+
+def test_equal_keys_across_run_and_stage_order_by_seq():
+    q = ColumnarEventQueue()
+    batch = q.push_many([1.0] * BIG, lambda: None, [()] * BIG)
+    single = q.push(1.0, lambda: None)
+    seqs = [ev.seq for ev in drain(q)]
+    assert seqs == [ev.seq for ev in batch] + [single.seq]
+
+
+# ----------------------------------------------------------------------
+# Cancellation (soft delete)
+# ----------------------------------------------------------------------
+def test_cancelled_staged_events_are_skipped():
+    q = ColumnarEventQueue()
+    ev = q.push(1.0, lambda: None)
+    keep = q.push(2.0, lambda: None)
+    ev.cancel()
+    assert drain(q) == [keep]
+
+
+def test_cancelled_run_events_are_skipped():
+    q = ColumnarEventQueue()
+    batch = q.push_many([float(i) for i in range(BIG)], lambda: None, [()] * BIG)
+    batch[0].cancel()
+    batch[7].cancel()
+    popped = drain(q)
+    assert len(popped) == BIG - 2
+    assert batch[0] not in popped and batch[7] not in popped
+
+
+def test_cancel_is_idempotent():
+    q = ColumnarEventQueue()
+    ev = q.push(1.0, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert q.pop() is None
+    assert q.live_count() == 0
+
+
+def test_merge_compacts_cancelled_events():
+    """A lexsort merge drops cancelled events from both the old run and
+    the staging heap — ``len`` (which counts queued-including-cancelled)
+    shrinks accordingly."""
+    q = ColumnarEventQueue()
+    batch = q.push_many([float(i) for i in range(BIG)], lambda: None, [()] * BIG)
+    staged = q.push(0.5, lambda: None)
+    batch[3].cancel()
+    staged.cancel()
+    assert len(q) == BIG + 1  # soft-deleted, still queued
+    q.push_many([100.0 + i for i in range(BIG)], lambda: None, [()] * BIG)
+    assert len(q) == 2 * BIG - 1  # merge compacted both cancelled events
+    assert q.live_count() == 2 * BIG - 1
+
+
+def test_live_count_excludes_cancelled():
+    q = ColumnarEventQueue()
+    evs = [q.push(float(i), lambda: None) for i in range(5)]
+    assert q.live_count() == 5
+    evs[1].cancel()
+    evs[3].cancel()
+    assert q.live_count() == 3
+    assert len(q) == 5
+
+
+def test_cancel_after_pop_does_not_corrupt_live_count():
+    q = ColumnarEventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.pop() is ev
+    ev.cancel()  # too late — it already fired
+    assert q.live_count() == 1
+
+
+# ----------------------------------------------------------------------
+# push_many
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("k", [3, MERGE_THRESHOLD - 1, MERGE_THRESHOLD, BIG])
+def test_push_many_matches_sequential_pushes(k):
+    """Both insert strategies (staging heap below the threshold, lexsort
+    merge at/above it) ≡ a loop of push(): same pop order, same seq."""
+    a, b = ColumnarEventQueue(), ColumnarEventQueue()
+    rng = random.Random(42)
+    times = [rng.choice([1.0, 2.0, 3.0]) for _ in range(k)]
+    argss = [(i,) for i in range(k)]
+    cb = lambda i: None
+    a.push_many(times, cb, argss)
+    for t, args in zip(times, argss):
+        b.push(t, cb, args)
+    ea, eb = drain(a), drain(b)
+    assert [(e.time, e.priority, e.seq, e.args) for e in ea] == [
+        (e.time, e.priority, e.seq, e.args) for e in eb
+    ]
+
+
+def test_push_many_interleaves_with_push_by_seq():
+    q = ColumnarEventQueue()
+    first = q.push(1.0, lambda: None)
+    batch = q.push_many([1.0] * BIG, lambda: None, [()] * BIG)
+    last = q.push(1.0, lambda: None)
+    seqs = [first.seq] + [ev.seq for ev in batch] + [last.seq]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == BIG + 2
+    assert [ev.seq for ev in drain(q)] == seqs
+
+
+def test_push_many_empty_batch():
+    q = ColumnarEventQueue()
+    assert q.push_many([], lambda: None, []) == []
+    assert len(q) == 0
+    assert q.live_count() == 0
+
+
+def test_successive_merges_keep_existing_events_sorted():
+    q = ColumnarEventQueue()
+    q.push_many([float(t) for t in range(0, 2 * BIG, 2)], lambda: None, [()] * BIG)
+    q.push_many([float(t) for t in range(1, 2 * BIG, 2)], lambda: None, [()] * BIG)
+    times = [ev.time for ev in drain(q)]
+    assert times == [float(t) for t in range(2 * BIG)]
+
+
+def test_push_many_events_are_cancellable():
+    q = ColumnarEventQueue()
+    events = q.push_many(
+        [float(i) for i in range(BIG)], lambda: None, [()] * BIG
+    )
+    events[1].cancel()
+    assert q.live_count() == BIG - 1
+    assert events[1] not in drain(q)
+
+
+# ----------------------------------------------------------------------
+# pop_next / peek_time / clear
+# ----------------------------------------------------------------------
+def test_pop_next_respects_bound():
+    q = ColumnarEventQueue()
+    q.push(1.0, lambda: None)
+    q.push(3.0, lambda: None)
+    assert q.pop_next(until=2.0).time == 1.0
+    assert q.pop_next(until=2.0) is None
+    assert q.live_count() == 1
+    assert q.pop_next(until=3.0).time == 3.0
+
+
+def test_pop_next_bound_applies_to_run_events():
+    q = ColumnarEventQueue()
+    q.push_many([float(i) for i in range(BIG)], lambda: None, [()] * BIG)
+    assert q.pop_next(until=0.0).time == 0.0
+    assert q.pop_next(until=0.5) is None
+    assert q.live_count() == BIG - 1
+
+
+def test_pop_next_skips_cancelled_heads():
+    q = ColumnarEventQueue()
+    first = q.push(1.0, lambda: None)
+    second = q.push(2.0, lambda: None)
+    first.cancel()
+    assert q.pop_next() is second
+    assert q.pop_next() is None
+
+
+def test_peek_time_skips_cancelled():
+    q = ColumnarEventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    assert q.peek_time() == 1.0
+    first.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_peek_time_empty_queue():
+    assert ColumnarEventQueue().peek_time() is None
+
+
+def test_clear_empties_run_and_stage():
+    q = ColumnarEventQueue()
+    q.push_many([float(i) for i in range(BIG)], lambda: None, [()] * BIG)
+    q.push(0.5, lambda: None)
+    q.clear()
+    assert q.pop() is None
+    assert len(q) == 0
+    assert q.live_count() == 0
+    q.push(1.0, lambda: None)
+    assert q.live_count() == 1
+
+
+def test_cancel_after_clear_does_not_corrupt_live_count():
+    q = ColumnarEventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.clear()
+    ev.cancel()
+    assert q.live_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Differential: columnar ≡ scalar under mixed random workloads
+# ----------------------------------------------------------------------
+def test_differential_against_scalar_kernel():
+    """Drive both kernels through the same randomized mixed op sequence
+    (singles, bulk batches straddling the merge threshold, cancels,
+    bounded and unbounded pops) and require identical observable
+    behaviour at every step."""
+    rng = random.Random(1234)
+    scalar, columnar = EventQueue(), ColumnarEventQueue()
+    live: list[tuple] = []  # aligned (scalar_ev, columnar_ev) pairs
+    cb = lambda *a: None
+    for _ in range(600):
+        op = rng.random()
+        if op < 0.35:
+            t = rng.choice([1.0, 2.0, 2.0, 3.0, 5.0]) + rng.randint(0, 3)
+            p = rng.randint(0, 2)
+            live.append((scalar.push(t, cb, (), p), columnar.push(t, cb, (), p)))
+        elif op < 0.55:
+            k = rng.choice([2, MERGE_THRESHOLD - 1, MERGE_THRESHOLD, BIG])
+            times = [rng.choice([1.0, 2.0, 4.0]) + rng.randint(0, 3) for _ in range(k)]
+            argss = [(i,) for i in range(k)]
+            live.extend(
+                zip(scalar.push_many(times, cb, argss),
+                    columnar.push_many(times, cb, argss))
+            )
+        elif op < 0.7 and live:
+            a, b = live.pop(rng.randrange(len(live)))
+            a.cancel()
+            b.cancel()
+        elif op < 0.9:
+            until = rng.choice([None, 2.0, 4.0])
+            ea, eb = scalar.pop_next(until), columnar.pop_next(until)
+            assert (ea is None) == (eb is None)
+            if ea is not None:
+                assert (ea.time, ea.priority, ea.seq) == (eb.time, eb.priority, eb.seq)
+        else:
+            ea, eb = scalar.pop(), columnar.pop()
+            assert (ea is None) == (eb is None)
+            if ea is not None:
+                assert (ea.time, ea.priority, ea.seq) == (eb.time, eb.priority, eb.seq)
+        assert scalar.live_count() == columnar.live_count()
+        assert scalar.peek_time() == columnar.peek_time()
+    sa, ca = drain(scalar), drain(columnar)
+    assert [(e.time, e.priority, e.seq) for e in sa] == [
+        (e.time, e.priority, e.seq) for e in ca
+    ]
+
+
+# ----------------------------------------------------------------------
+# Kernel registry
+# ----------------------------------------------------------------------
+def test_default_kernel_is_scalar():
+    assert DEFAULT_KERNEL == "scalar"
+
+
+def test_both_builtin_kernels_registered():
+    assert {"scalar", "columnar"} <= set(available_kernels())
+
+
+def test_create_queue_builds_the_right_kernel():
+    assert isinstance(create_queue("scalar"), EventQueue)
+    assert isinstance(create_queue("columnar"), ColumnarEventQueue)
+    assert isinstance(create_queue(), EventQueue)  # default
+
+
+def test_create_queue_unknown_kernel_is_a_value_error():
+    with pytest.raises(ValueError, match="columnar"):
+        create_queue("vectorised")
+
+
+def test_kernels_satisfy_the_substrate_protocol():
+    assert isinstance(EventQueue(), SubstrateQueue)
+    assert isinstance(ColumnarEventQueue(), SubstrateQueue)

@@ -77,3 +77,52 @@ def test_nic_requires_positive_bandwidth():
 
 def test_cpu_is_a_resource():
     assert isinstance(Cpu(), Resource)
+
+
+# ----------------------------------------------------------------------
+# Batched occupancy (the multicast fan-out fast path)
+# ----------------------------------------------------------------------
+def test_occupy_many_matches_occupy_loop_bitwise():
+    """occupy_many must replay occupy's repeated float additions, not
+    recompute ``start + i*duration`` — the completion times feed the
+    golden fingerprints, so == here means bit-equality, not approx."""
+    a, b = Resource(), Resource()
+    duration = 0.0001954  # not exactly representable: rounding matters
+    ends_loop = [a.occupy(1.0, duration) for _ in range(60)]
+    ends_bulk = b.occupy_many(1.0, duration, 60)
+    assert ends_bulk == ends_loop
+    assert b.busy_until == a.busy_until
+    assert b.total_busy == a.total_busy
+    assert b.jobs == a.jobs
+
+
+def test_occupy_many_queues_behind_existing_work():
+    a, b = Resource(), Resource()
+    a.occupy(0.0, 2.0)
+    b.occupy(0.0, 2.0)
+    ends_loop = [a.occupy(1.0, 0.5) for _ in range(3)]
+    assert b.occupy_many(1.0, 0.5, 3) == ends_loop
+
+
+def test_occupy_many_zero_or_negative_count_is_a_noop():
+    r = Resource()
+    r.occupy(0.0, 1.0)
+    assert r.occupy_many(5.0, 1.0, 0) == []
+    assert r.occupy_many(5.0, 1.0, -2) == []
+    assert r.busy_until == 1.0
+    assert r.jobs == 1
+
+
+def test_occupy_many_negative_duration_rejected_before_mutation():
+    r = Resource()
+    with pytest.raises(ValueError):
+        r.occupy_many(0.0, -1.0, 3)
+    assert r.jobs == 0
+
+
+def test_serialize_many_matches_serialize_loop_bitwise():
+    a = Nic(bandwidth_bps=250e6)
+    b = Nic(bandwidth_bps=250e6)
+    ends_loop = [a.serialize(0.25, 11_000) for _ in range(20)]
+    assert b.serialize_many(0.25, 11_000, 20) == ends_loop
+    assert b.busy_until == a.busy_until

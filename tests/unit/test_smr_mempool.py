@@ -138,3 +138,61 @@ def test_mark_committed_key_inside_window_blocks_resubmit():
     mp.mark_committed(t)
     assert not mp.submit(t)
     assert len(mp) == 0
+
+
+# -- batched commit (the per-block hot path) ---------------------------
+def _window_state(mp):
+    return (list(mp._seen), sorted(mp._pending), len(mp))
+
+
+def test_mark_committed_many_equals_per_tx_loop():
+    """Bulk commit ≡ mark_committed per transaction: same window
+    contents *and insertion order* (order decides future evictions)."""
+    a, b = Mempool(dedup_window=100), Mempool(dedup_window=100)
+    txs = [Transaction(3, i) for i in range(30)]
+    for mp in (a, b):
+        for t in txs[:5]:
+            mp.submit(t)
+    a.mark_committed_many(txs)
+    for t in txs:
+        b.mark_committed(t)
+    assert _window_state(a) == _window_state(b)
+
+
+def test_mark_committed_keys_bulk_path_preserves_duplicate_positions():
+    """The no-eviction bulk path must keep an already-seen key at its
+    original window position, exactly like _remember's early return."""
+    a, b = Mempool(dedup_window=100), Mempool(dedup_window=100)
+    for mp in (a, b):
+        mp.mark_committed(Transaction(1, 1))
+        mp.mark_committed(Transaction(1, 2))
+    keys = [(1, 2), (1, 9), (1, 1), (1, 8)]
+    a.mark_committed_keys(keys)
+    for cid, txid in keys:
+        b.mark_committed(Transaction(cid, txid))
+    assert _window_state(a) == _window_state(b)
+
+
+def test_mark_committed_keys_eviction_path_equals_per_tx_loop():
+    """When the batch overflows the window the slow path runs — its
+    evictions must match the scalar loop's exactly."""
+    a, b = Mempool(dedup_window=10), Mempool(dedup_window=10)
+    txs = [Transaction(2, i) for i in range(25)]
+    for mp in (a, b):
+        for t in txs[:8]:
+            mp.submit(t)
+    a.mark_committed_many(txs)
+    for t in txs:
+        b.mark_committed(t)
+    assert _window_state(a) == _window_state(b)
+    assert len(a._seen) == 10
+
+
+def test_mark_committed_keys_drops_pending_entries():
+    mp = Mempool(dedup_window=50, batch_size=10)
+    txs = [Transaction(4, i) for i in range(6)]
+    for t in txs:
+        mp.submit(t)
+    mp.mark_committed_keys([t.key() for t in txs[:4]])
+    assert len(mp) == 2
+    assert [t.tx_id for t in mp.next_batch()] == [4, 5]

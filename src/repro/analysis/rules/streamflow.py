@@ -42,9 +42,16 @@ if TYPE_CHECKING:
 #: with any trailing digits stripped (``client7.arrivals`` -> ``client``).
 HOME_LAYERS: dict[str, tuple[str, ...]] = {
     "net": ("repro/net/", "repro/sim/"),
-    "client": ("repro/smr/", "repro/sim/"),
+    "client": ("repro/smr/", "repro/workload/", "repro/sim/"),
     "bench": ("repro/bench/", "repro/sim/"),
     "faults": ("repro/faults/", "repro/sim/"),
+    # Aggregated open-loop load engine: arrival times and client marks
+    # drawn from "workload.region<k>.arrivals" feed slab construction
+    # (repro/workload) and ride into the smr/net layers as payloads.
+    "workload": ("repro/workload/", "repro/smr/", "repro/net/", "repro/sim/"),
+    # Seeded latency reservoir: "metrics.reservoir" draws stay inside
+    # the (observer) metrics layer by construction.
+    "metrics": ("repro/metrics/", "repro/sim/"),
 }
 
 #: Layers that observe runs rather than participate in them; they may
@@ -55,6 +62,9 @@ OBSERVER_PATHS: tuple[str, ...] = (
     "repro/experiments/",
     "repro/bench/",
     "repro/analysis/",
+    # The CLI prints run reports (RunResult carries the streaming
+    # collector, whose reservoir holds metrics-stream draws).
+    "repro/cli.py",
 )
 
 #: The one true stream factory.

@@ -11,6 +11,10 @@ against the recorded baselines (``BENCH_kernel.json`` /
 :mod:`repro.bench.harness` for the report model and exit contract.
 """
 
+from dataclasses import dataclass
+from typing import Callable
+
+from ..sim import DEFAULT_KERNEL
 from .crypto import run_crypto_bench
 from .e2e import run_e2e_bench
 from .harness import (
@@ -27,8 +31,61 @@ from .harness import (
 from .kernel import run_kernel_bench
 from .lint import run_lint_bench
 from .net import run_net_bench
+from .workload import run_workload_bench
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """Registry entry for one benchmark tier.
+
+    ``kernel_aware`` marks suites whose runner accepts the simulation
+    substrate kernel choice; the others ignore it.
+    """
+
+    name: str
+    runner: Callable[..., BenchReport]
+    kernel_aware: bool = False
+
+
+#: The single source of truth for which tiers exist.  ``--suite all``
+#: iterates this mapping, so a tier registered here can never be
+#: silently skipped, and the CLI derives its ``--suite`` choices from
+#: it, so an unregistered name fails loudly at argument parsing.
+SUITES: dict[str, BenchSuite] = {
+    "kernel": BenchSuite("kernel", run_kernel_bench, kernel_aware=True),
+    "e2e": BenchSuite("e2e", run_e2e_bench, kernel_aware=True),
+    "crypto": BenchSuite("crypto", run_crypto_bench),
+    "net": BenchSuite("net", run_net_bench, kernel_aware=True),
+    "lint": BenchSuite("lint", run_lint_bench),
+    "workload": BenchSuite("workload", run_workload_bench, kernel_aware=True),
+}
+
+
+def suite_names() -> list[str]:
+    """Registered tier names, in canonical run order."""
+    return list(SUITES)
+
+
+def run_suite(
+    name: str, quick: bool = False, kernel: str = DEFAULT_KERNEL
+) -> BenchReport:
+    """Run one registered tier; unknown names fail loudly."""
+    suite = SUITES.get(name)
+    if suite is None:
+        raise ValueError(
+            f"unknown bench suite {name!r}; registered: {', '.join(SUITES)}"
+        )
+    if suite.kernel_aware:
+        return suite.runner(quick, kernel=kernel)
+    return suite.runner(quick)
+
 
 __all__ = [
+    "BenchSuite",
+    "SUITES",
+    "run_suite",
+    "run_workload_bench",
+    "suite_names",
     "DEFAULT_TOLERANCE",
     "BenchMetric",
     "BenchReport",

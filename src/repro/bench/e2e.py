@@ -27,55 +27,52 @@ def run_e2e_bench(
     Reported rates are wall-clock (events and committed transactions
     per real second) plus the run's wall duration itself.
 
-    An untimed full-size warmup run precedes the measurement: unlike
-    the microbench tiers (which time thousands of iterations), this
-    tier times a *single* run, and a cold process measures 10–25%
-    slower than a warm one (CPU frequency ramp, allocator/caches) —
-    enough to trip the regression gate on pure noise.  Shorter warmups
-    measurably under-warm (see EXPERIMENTS.md), so the warmup matches
-    the timed run's size and uses a different seed so its memoized
-    digests cannot subsidize the timed run.
+    An untimed full-size warmup run precedes the measurement: a cold
+    process measures 10–25% slower than a warm one (CPU frequency
+    ramp, allocator/caches) — enough to trip the regression gate on
+    pure noise.  Shorter warmups measurably under-warm (see
+    EXPERIMENTS.md), so the warmup matches the timed runs' size.
+
+    The measurement itself is **best-of-3**: each timed run lasts only
+    ~0.1 s of wall clock, so single samples swing ±25% with scheduler
+    and frequency jitter — wide enough that a healthy tree can trip
+    the gate and a regressed one can sneak through.  The minimum
+    elapsed time (equivalently the maximum rate) is the standard
+    low-noise estimator of a run's true cost; transient interference
+    only ever makes a sample *slower*.  Every run — warmup included —
+    uses a distinct seed so cross-run digest memos cannot subsidize a
+    later sample.
     """
-    config = ExperimentConfig(
-        protocol="oneshot",
-        f=1,
-        payload_bytes=0,
-        deployment="local",
-        local_latency_s=0.002,
-        target_blocks=12 if quick else 50,
-        timeout_base=0.5,
-        seed=seed,
-        kernel=kernel,
-    )
-    warmup = ExperimentConfig(
-        protocol="oneshot",
-        f=1,
-        payload_bytes=0,
-        deployment="local",
-        local_latency_s=0.002,
-        target_blocks=12 if quick else 50,
-        timeout_base=0.5,
-        seed=seed + 1,
-        kernel=kernel,
-    )
-    run_experiment(warmup)
-    start = time.perf_counter()
-    result = run_experiment(config)
-    elapsed = time.perf_counter() - start
+
+    def _cfg(s: int) -> ExperimentConfig:
+        return ExperimentConfig(
+            protocol="oneshot",
+            f=1,
+            payload_bytes=0,
+            deployment="local",
+            local_latency_s=0.002,
+            target_blocks=12 if quick else 50,
+            timeout_base=0.5,
+            seed=s,
+            kernel=kernel,
+        )
+
+    run_experiment(_cfg(seed + 1))  # warmup
+    best_events = best_txs = 0.0
+    best_elapsed = float("inf")
+    for rep in range(3):
+        start = time.perf_counter()
+        result = run_experiment(_cfg(seed + 2 * (rep + 1)))
+        elapsed = time.perf_counter() - start
+        best_elapsed = min(best_elapsed, elapsed)
+        best_events = max(best_events, result.sim.events_executed / elapsed)
+        best_txs = max(best_txs, result.stats.txs_decided / elapsed)
 
     report = BenchReport(name="e2e")
+    report.add(BenchMetric("events_per_sec", best_events, "events/s"))
+    report.add(BenchMetric("tx_per_wall_sec", best_txs, "tx/s"))
     report.add(
-        BenchMetric(
-            "events_per_sec", result.sim.events_executed / elapsed, "events/s"
-        )
-    )
-    report.add(
-        BenchMetric(
-            "tx_per_wall_sec", result.stats.txs_decided / elapsed, "tx/s"
-        )
-    )
-    report.add(
-        BenchMetric("wall_seconds", elapsed, "s", higher_is_better=False)
+        BenchMetric("wall_seconds", best_elapsed, "s", higher_is_better=False)
     )
     return report
 

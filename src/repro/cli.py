@@ -67,10 +67,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         target_blocks=args.blocks,
         seed=args.seed,
         kernel=args.kernel,
+        workload=args.workload,
+        offered_tps=args.offered_tps,
+        virtual_clients=args.clients,
+        workload_regions=args.regions,
+        streaming_metrics=args.streaming_metrics,
     )
     result = run_experiment(cfg)
     print(cfg.describe())
     print(result.stats)
+    if result.engine is not None:
+        print(
+            f"offered load: {result.engine.txs_offered:,} txs from "
+            f"{result.engine.virtual_clients:,} virtual clients "
+            f"({result.engine.observed_rate_tps():,.0f} tx/s)"
+        )
     return 0
 
 
@@ -215,11 +226,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         profile_call,
         regressions,
         render_report,
-        run_crypto_bench,
-        run_e2e_bench,
-        run_kernel_bench,
-        run_lint_bench,
-        run_net_bench,
+        run_suite,
+        suite_names,
     )
 
     out_dir = Path(args.output_dir)
@@ -231,14 +239,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
     kernel = args.kernel
-    runners = {
-        "kernel": lambda quick: run_kernel_bench(quick, kernel=kernel),
-        "e2e": lambda quick: run_e2e_bench(quick, kernel=kernel),
-        "crypto": run_crypto_bench,
-        "net": lambda quick: run_net_bench(quick, kernel=kernel),
-        "lint": run_lint_bench,
-    }
-    suites = list(runners) if args.suite == "all" else [args.suite]
+    # The registry is the single source of truth: "all" is every
+    # registered tier, and run_suite fails loudly on unknown names
+    # (argparse choices are derived from the same registry).
+    suites = suite_names() if args.suite == "all" else [args.suite]
 
     if args.profile:
         # Diagnostic mode: profiler overhead skews every wall-clock
@@ -246,7 +250,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         # are neither compared against nor rewritten.
         for s in suites:
             report, table = profile_call(
-                lambda: runners[s](quick=args.quick), top_n=args.profile_top
+                lambda: run_suite(s, quick=args.quick, kernel=kernel),
+                top_n=args.profile_top,
             )
             print(render_report(report))
             print(
@@ -258,7 +263,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
 
     failed = False
-    for report in (runners[s](quick=args.quick) for s in suites):
+    for report in (
+        run_suite(s, quick=args.quick, kernel=kernel) for s in suites
+    ):
         path = out_dir / f"BENCH_{report.name}.json"
         deltas = None
         if path.is_file():
@@ -405,6 +412,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation substrate kernel (identical results, different "
         "wall-clock speed)",
     )
+    p.add_argument(
+        "--workload",
+        default="saturated",
+        choices=["saturated", "open"],
+        help="load model: closed-loop saturated sources (paper default) "
+        "or the aggregated open-loop engine (repro.workload)",
+    )
+    p.add_argument(
+        "--offered-tps",
+        type=float,
+        default=10_000.0,
+        help="aggregate offered load in open mode (tx/s)",
+    )
+    p.add_argument(
+        "--clients",
+        type=int,
+        default=100_000,
+        help="virtual open-loop client population in open mode",
+    )
+    p.add_argument(
+        "--regions",
+        type=int,
+        default=1,
+        help="regions the open-mode population is split across",
+    )
+    p.add_argument(
+        "--streaming-metrics",
+        action="store_true",
+        help="O(1)-memory streaming collector (P² quantile estimates)",
+    )
     _add_common(p)
     p.set_defaults(func=_cmd_run)
 
@@ -477,9 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=_cmd_sweep)
 
+    from .bench import suite_names
+
     p = sub.add_parser(
         "bench",
-        help="kernel + e2e + crypto + net + lint benchmarks with regression gate",
+        help="kernel + e2e + crypto + net + lint + workload benchmarks "
+        "with regression gate",
     )
     p.add_argument(
         "--quick",
@@ -489,8 +529,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--suite",
         default="all",
-        choices=["kernel", "e2e", "crypto", "net", "lint", "all"],
-        help="which bench suite to run (default: all)",
+        choices=[*suite_names(), "all"],
+        help="which bench suite to run (default: all, i.e. every "
+        "registered tier)",
     )
     p.add_argument(
         "--tolerance",

@@ -37,6 +37,23 @@ class ExperimentConfig:
     #: Simulation substrate kernel ("scalar" or "columnar"); purely a
     #: wall-clock choice — every kernel replays the identical schedule.
     kernel: str = "scalar"
+    #: Load model: "saturated" (paper default — closed-loop synthetic
+    #: sources keep every block full) or "open" (the aggregated
+    #: open-loop engine of :mod:`repro.workload`: ``virtual_clients``
+    #: Poisson clients offering ``offered_tps`` total, superposed per
+    #: region and delivered in columnar slabs).
+    workload: str = "saturated"
+    #: Aggregate offered load (tx/s) in "open" mode.
+    offered_tps: float = 10_000.0
+    #: Virtual open-loop client population in "open" mode.
+    virtual_clients: int = 100_000
+    #: Regions the population/load is split across in "open" mode.
+    workload_regions: int = 1
+    #: Arrivals minted per slab (one simulator event) in "open" mode.
+    arrival_slab: int = 512
+    #: Use the O(1)-memory streaming metrics collector (quantiles become
+    #: P² estimates; mandatory for very long open-loop runs).
+    streaming_metrics: bool = False
 
     def describe(self) -> str:
         return (

@@ -15,6 +15,7 @@ from ..net import Network
 from ..protocols.common import BaseReplica, Cluster, ProtocolConfig, build_cluster
 from ..protocols.registry import get_protocol
 from ..sim import Simulator
+from ..workload import attach_workload
 from .config import ExperimentConfig
 from .deployments import latency_model_for
 
@@ -31,6 +32,8 @@ class RunResult:
     cluster: Cluster
     network: Network
     sim: Simulator
+    #: The aggregated load engine, when ``config.workload == "open"``.
+    engine: Optional[object] = None
 
 
 def _trimmed(collector: MetricsCollector, warmup_blocks: int) -> MetricsCollector:
@@ -66,23 +69,58 @@ def run_experiment(
     if enable_message_log:
         network.enable_log()
     proto_cfg = ProtocolConfig(n=n, f=config.f, timeout_base=config.timeout_base)
+    collector = None
+    if config.streaming_metrics:
+        # Streaming mode trims warm-up inside the collector (a stream
+        # cannot be re-trimmed post hoc the way _trimmed does).
+        collector = MetricsCollector(
+            streaming=True,
+            n_replicas=n,
+            warmup_blocks=config.warmup_blocks,
+            reservoir_rng=sim.rng.stream(
+                "metrics.reservoir", purpose="streaming latency reservoir"
+            ),
+        )
     cluster = build_cluster(
         info.replica_cls,
         sim,
         network,
         proto_cfg,
         payload_bytes=config.payload_bytes,
+        collector=collector,
         replica_factory=replica_factory,
+        saturated=(config.workload == "saturated"),
     )
+    engine = None
+    if config.workload == "open":
+        engine = attach_workload(
+            sim,
+            network,
+            [r.pid for r in cluster.replicas],
+            offered_tps=config.offered_tps,
+            virtual_clients=config.virtual_clients,
+            regions=config.workload_regions,
+            payload_bytes=config.payload_bytes,
+            slab_rows=config.arrival_slab,
+        )
+    elif config.workload != "saturated":
+        raise ValueError(f"unknown workload model {config.workload!r}")
     cluster.start()
+    if engine is not None:
+        engine.start()
     reference = cluster.replicas[0]
     target = config.target_blocks + config.warmup_blocks
     sim.run(
         until=config.max_sim_time,
         stop_when=lambda: len(reference.log) >= target,
     )
+    if engine is not None:
+        engine.stop()
     cluster.stop()
-    stats = compute_stats(_trimmed(cluster.collector, config.warmup_blocks))
+    if config.streaming_metrics:
+        stats = compute_stats(cluster.collector)
+    else:
+        stats = compute_stats(_trimmed(cluster.collector, config.warmup_blocks))
     return RunResult(
         config=config,
         stats=stats,
@@ -90,6 +128,7 @@ def run_experiment(
         cluster=cluster,
         network=network,
         sim=sim,
+        engine=engine,
     )
 
 

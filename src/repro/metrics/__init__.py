@@ -4,11 +4,13 @@ from .collector import (
     CATCHUP,
     NORMAL,
     PIGGYBACK,
+    STREAM_WINDOW,
     Decision,
     MetricsCollector,
     ViewOutcome,
 )
 from .report import GainCell, render_series, render_table
+from .streaming import P2Quantile, ReservoirSample, StreamingMoments
 from .stats import RunStats, block_latencies, compute_stats, decrease_pct, gain_pct
 from .timeline import (
     CLASSIFIERS,
@@ -24,9 +26,13 @@ __all__ = [
     "CATCHUP",
     "NORMAL",
     "PIGGYBACK",
+    "STREAM_WINDOW",
     "Decision",
     "MetricsCollector",
     "ViewOutcome",
+    "P2Quantile",
+    "ReservoirSample",
+    "StreamingMoments",
     "GainCell",
     "render_series",
     "render_table",

@@ -54,7 +54,15 @@ def block_latencies(collector: MetricsCollector) -> dict[bytes, float]:
 
 
 def compute_stats(collector: MetricsCollector) -> RunStats:
-    """Summarize a run; degenerate runs yield zeroed stats."""
+    """Summarize a run; degenerate runs yield zeroed stats.
+
+    A streaming collector is summarized from its O(1) aggregate state
+    (quantiles are P² estimates); a legacy collector from its exact
+    flat records.  Field-for-field the two modes report the same
+    quantities.
+    """
+    if getattr(collector, "streaming", False):
+        return RunStats(**collector.streaming_stats())
     decided = collector.decided_blocks()
     lats = np.array(sorted(block_latencies(collector).values()))
     ntx_by_block: dict[bytes, int] = {}

@@ -17,7 +17,16 @@ from ...crypto import Digest
 from ...net import Network
 from ...metrics import MetricsCollector
 from ...sim import Cpu, Process, Simulator
-from ...smr import Block, BlockStore, ChainError, ExecutionLog, Mempool, Reply, SubmitTx
+from ...smr import (
+    Block,
+    BlockStore,
+    ChainError,
+    ExecutionLog,
+    Mempool,
+    Reply,
+    SubmitTx,
+    SubmitTxBatch,
+)
 from ...tee import Credentials
 from .config import ProtocolConfig
 from .pacemaker import Pacemaker
@@ -118,6 +127,9 @@ class BaseReplica(Process):
         if isinstance(payload, SubmitTx):
             self._on_submit(sender, payload)
             return
+        if isinstance(payload, SubmitTxBatch):
+            self._on_submit_batch(sender, payload)
+            return
         handler = self._handlers.get(type(payload))
         if handler is not None:
             self.charge(self.config.handler_overhead)
@@ -126,6 +138,16 @@ class BaseReplica(Process):
     def _on_submit(self, sender: int, msg: SubmitTx) -> None:
         self.clients[msg.tx.client_id] = sender
         self.mempool.submit(msg.tx)
+
+    def _on_submit_batch(self, sender: int, msg: SubmitTxBatch) -> None:
+        """Columnar slab from the aggregated workload engine.
+
+        Deliberately does *not* populate ``self.clients``: the engine's
+        virtual clients never listen for per-transaction replies (their
+        latency is measured replica-side at commit), so routing state
+        for a million virtual client ids would be pure overhead.
+        """
+        self.mempool.submit_batch(msg.batch)
 
     # ------------------------------------------------------------------
     # Views and the pacemaker

@@ -3,10 +3,10 @@ mempools, clients, and deterministic execution."""
 
 from .block import GENESIS, GENESIS_HASH, Block, create_leaf, make_genesis
 from .chain import BlockStore, ChainError
-from .client import Client, PoissonClient, Reply, SubmitTx
+from .client import Client, PoissonClient, Reply, SubmitTx, SubmitTxBatch
 from .execution import ExecutionLog, KVStore, prefix_agreement
 from .mempool import BLOCK_TXS, DEFAULT_DEDUP_WINDOW, Mempool, SaturatedSource
-from .transaction import TX_OVERHEAD_BYTES, Transaction, TxFactory
+from .transaction import TX_OVERHEAD_BYTES, Transaction, TxBatch, TxFactory
 
 __all__ = [
     "GENESIS",
@@ -20,6 +20,7 @@ __all__ = [
     "PoissonClient",
     "Reply",
     "SubmitTx",
+    "SubmitTxBatch",
     "ExecutionLog",
     "KVStore",
     "prefix_agreement",
@@ -29,5 +30,6 @@ __all__ = [
     "SaturatedSource",
     "TX_OVERHEAD_BYTES",
     "Transaction",
+    "TxBatch",
     "TxFactory",
 ]

@@ -13,12 +13,13 @@ transaction's block executes.  Two trust modes:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..net import Network
 from ..sim import Process, Simulator
-from .transaction import Transaction, TxFactory
+from .transaction import Transaction, TxBatch, TxFactory
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,24 @@ class SubmitTx:
 
     def wire_size(self) -> int:
         return 8 + self.tx.wire_size()
+
+
+@dataclass(frozen=True)
+class SubmitTxBatch:
+    """Workload engine → replica submission of a columnar slab.
+
+    One message carries a whole :class:`~repro.smr.transaction.TxBatch`
+    (arrival times, client ids, tx ids as numpy columns) — the batched
+    counterpart of per-transaction :class:`SubmitTx` used by the
+    aggregated open-loop load engine (:mod:`repro.workload`).  The slab
+    is immutable (read-only arrays), so the reference-passing in-memory
+    network cannot let a receiver alter it.
+    """
+
+    batch: TxBatch
+
+    def wire_size(self) -> int:
+        return 8 + self.batch.wire_size()
 
 
 @dataclass(frozen=True)
@@ -50,8 +69,27 @@ class Reply:
         return 24 + (80 if self.certified else 0)
 
 
+#: Default cap on a client's in-flight (submitted, not yet committed)
+#: transactions.  In a correct run commits drain ``_inflight`` almost as
+#: fast as submissions fill it; the cap only bites when transactions
+#: stop committing (censorship, partitions, runaway open-loop load), in
+#: which case the *oldest* stale entries are evicted so a long run's
+#: bookkeeping stays bounded.  An evicted transaction can no longer be
+#: matched to replies — its latency is simply not recorded.
+DEFAULT_MAX_INFLIGHT = 100_000
+
+
 class Client(Process):
-    """A closed-loop or scripted client."""
+    """A closed-loop or scripted client.
+
+    **Bounded bookkeeping.**  Per-transaction state is dropped as soon
+    as it is no longer needed: the submit-time (``_inflight``) and
+    reply-voter (``_reply_counts``) entries for a transaction are popped
+    the moment it commits, with the end-to-end latency folded into
+    ``_latencies`` at that point.  Entries for transactions that *never*
+    commit are capped at ``max_inflight`` (oldest evicted first), so no
+    dict grows without bound over a long open-loop run.
+    """
 
     def __init__(
         self,
@@ -62,17 +100,26 @@ class Client(Process):
         f: int,
         payload_bytes: int = 0,
         certified_replies: bool = False,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
     ) -> None:
         super().__init__(sim, pid, name=f"client{pid}")
+        if max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
         self.network = network
         self.replica_pids = list(replica_pids)
         self.f = f
         self.certified_replies = certified_replies
+        self.max_inflight = max_inflight
         self.factory = TxFactory(client_id=pid, payload_bytes=payload_bytes)
-        self._inflight: dict[tuple[int, int], float] = {}
+        # OrderedDict so the cap eviction unlinks the oldest entry in
+        # O(1); popping a plain dict's front rescans prior tombstones.
+        self._inflight: OrderedDict[tuple[int, int], float] = OrderedDict()
         self._reply_counts: dict[tuple[int, int], set[int]] = {}
+        self._latencies: dict[tuple[int, int], float] = {}
         self.committed: dict[tuple[int, int], float] = {}
         self.results: dict[tuple[int, int], Any] = {}
+        #: Stale submissions dropped by the ``max_inflight`` cap.
+        self.evicted = 0
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -81,6 +128,10 @@ class Client(Process):
     def submit(self, op: Any = None) -> Transaction:
         """Create and broadcast a transaction; returns it."""
         tx = self.factory.make(now=self.sim.now, op=op)
+        if len(self._inflight) >= self.max_inflight:
+            stale, _ = self._inflight.popitem(last=False)
+            self._reply_counts.pop(stale, None)
+            self.evicted += 1
         self._inflight[tx.key()] = self.sim.now
         msg = SubmitTx(tx)
         for r in self.replica_pids:
@@ -105,8 +156,12 @@ class Client(Process):
             self._commit(key, payload)
 
     def _commit(self, key: tuple[int, int], payload: Reply) -> None:
-        self.committed[key] = self.sim.now
+        now = self.sim.now
+        self.committed[key] = now
         self.results[key] = payload.result
+        # Fold the latency in and drop the per-tx bookkeeping: commit
+        # is the last event that needs either entry.
+        self._latencies[key] = now - self._inflight.pop(key)
         self._reply_counts.pop(key, None)
 
     # ------------------------------------------------------------------
@@ -114,19 +169,14 @@ class Client(Process):
     # ------------------------------------------------------------------
     def latency(self, tx: Transaction) -> Optional[float]:
         """Submit → commit latency, or None if still pending."""
-        done = self.committed.get(tx.key())
-        if done is None:
-            return None
-        return done - self._inflight[tx.key()]
+        return self._latencies.get(tx.key())
 
     def pending(self) -> int:
-        return len(self._inflight) - len(self.committed)
+        return len(self._inflight)
 
     def committed_latencies(self) -> list[float]:
         """Latencies of all committed transactions (seconds)."""
-        return [
-            done - self._inflight[key] for key, done in self.committed.items()
-        ]
+        return list(self._latencies.values())
 
 
 class PoissonClient(Client):
@@ -177,4 +227,11 @@ class PoissonClient(Client):
         self._schedule_next()
 
 
-__all__ = ["Client", "PoissonClient", "SubmitTx", "Reply"]
+__all__ = [
+    "Client",
+    "PoissonClient",
+    "SubmitTx",
+    "SubmitTxBatch",
+    "Reply",
+    "DEFAULT_MAX_INFLIGHT",
+]

@@ -10,10 +10,10 @@ filler.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import Optional
 
-from .transaction import Transaction, TxFactory
+from .transaction import Transaction, TxBatch, TxFactory
 
 #: Transactions per block in the paper's evaluation.
 BLOCK_TXS = 400
@@ -71,22 +71,52 @@ class Mempool:
         self._pending: OrderedDict[tuple[int, int], Transaction] = OrderedDict()
         #: Bounded FIFO of recently seen keys (values unused); oldest
         #: insertion evicted first, matching the KeyRing memo pattern.
-        #: A plain dict (insertion-ordered since 3.7): eviction pops
-        #: the first iteration key, and re-assigning an existing key
-        #: keeps its position — the two properties the FIFO needs —
-        #: while inserts stay cheap on the commit hot path.
+        #: A plain dict keeps membership tests and the commit hot
+        #: path's C-level bulk ``update`` fast, but evicting its front
+        #: via ``next(iter(d))`` rescans every tombstone left by prior
+        #: evictions — quadratic once the window fills, which the
+        #: aggregated workload engine reaches in seconds.  So insertion
+        #: order is mirrored in ``_seen_order`` with a head cursor:
+        #: eviction is ``del seen[order[head]]; head += 1`` (O(1)), and
+        #: the consumed prefix is compacted away once it dominates the
+        #: list (amortized O(1)).  Invariant: ``_seen_order[head:]``
+        #: holds each key of ``_seen`` exactly once, oldest first.
         self._seen: dict[tuple[int, int], None] = {}
+        self._seen_order: list[tuple[int, int]] = []
+        self._seen_head = 0
+        #: Columnar pending path (the workload engine's slabs): FIFO of
+        #: accepted :class:`TxBatch` slabs, a row cursor into the head
+        #: slab, the set of keys still live in some slab, and keys that
+        #: committed while slab-pending (skipped at drain time).  All
+        #: empty — and every scalar path byte-identical — unless
+        #: :meth:`submit_batch` has been used.
+        self._slabs: deque[TxBatch] = deque()
+        self._slab_cursor = 0
+        self._slab_keys: set[tuple[int, int]] = set()
+        self._slab_dropped: set[tuple[int, int]] = set()
 
     def __len__(self) -> int:
-        return len(self._pending)
+        return len(self._pending) + len(self._slab_keys)
+
+    def _evict_oldest(self) -> None:
+        """Drop the oldest ``_seen`` key; amortized O(1)."""
+        order = self._seen_order
+        head = self._seen_head
+        del self._seen[order[head]]
+        head += 1
+        if head > 4096 and head * 2 >= len(order):
+            del order[:head]
+            head = 0
+        self._seen_head = head
 
     def _remember(self, k: tuple[int, int]) -> None:
         seen = self._seen
         if k in seen:
             return
         if len(seen) >= self.dedup_window:
-            del seen[next(iter(seen))]
+            self._evict_oldest()
         seen[k] = None
+        self._seen_order.append(k)
 
     def seen_recently(self, k: tuple[int, int]) -> bool:
         """Whether ``k`` is inside the current dedup horizon."""
@@ -102,11 +132,52 @@ class Mempool:
         self._pending[k] = tx
         return True
 
+    def submit_batch(self, batch: TxBatch) -> int:
+        """Queue a columnar slab of client transactions; returns the
+        number accepted.
+
+        Accept/reject decisions are *identical* to calling
+        :meth:`submit` once per row in slab order (same dedup horizon,
+        same ``_seen`` FIFO insertion order and eviction) — the batched
+        path only changes how accepted rows are *stored*: as the slab's
+        numpy columns rather than per-row :class:`Transaction` objects.
+        The rows are materialized lazily by :meth:`next_batch`, and
+        only for the rows that actually enter a block.
+        """
+        keys = batch.keys()
+        seen = self._seen
+        window = self.dedup_window
+        slab_keys = self._slab_keys
+        accepted: list[int] = []
+        accept = accepted.append
+        slab_add = slab_keys.add
+        evict = self._evict_oldest
+        order_add = self._seen_order.append
+        for i, k in enumerate(keys):
+            if k in seen:
+                continue
+            if len(seen) >= window:
+                evict()
+            seen[k] = None
+            order_add(k)
+            slab_add(k)
+            accept(i)
+        if not accepted:
+            return 0
+        if len(accepted) == len(keys):
+            self._slabs.append(batch)
+        else:
+            self._slabs.append(batch.select(accepted))
+        return len(accepted)
+
     def mark_committed(self, tx: Transaction) -> None:
         """Drop a transaction that some block already committed."""
         k = (tx.client_id, tx.tx_id)
         self._remember(k)
         self._pending.pop(k, None)
+        if self._slab_keys and k in self._slab_keys:
+            self._slab_keys.discard(k)
+            self._slab_dropped.add(k)
 
     def mark_committed_many(self, txs) -> None:
         """Drop a whole committed block's transactions at once.
@@ -129,34 +200,88 @@ class Mempool:
         """
         seen = self._seen
         pending = self._pending
-        if not pending and len(seen) + len(keys) <= self.dedup_window:
+        slab_keys = self._slab_keys
+        if (
+            not pending
+            and not slab_keys
+            and len(seen) + len(keys) <= self.dedup_window
+        ):
             # Bulk path (the saturated steady state): nothing pending
-            # to drop and no eviction can trigger, so one C-level
-            # update replaces per-key membership tests.  Equivalent to
-            # the loop: assigning an existing key leaves its position
-            # (and ``None`` value) unchanged, exactly like
-            # ``_remember``'s early return; fresh keys append in
-            # iteration order.
-            seen.update(dict.fromkeys(keys))
+            # to drop and no eviction can trigger, so C-level bulk ops
+            # replace per-key membership tests.  Equivalent to the
+            # loop: an existing key keeps its position (and ``None``
+            # value), exactly like ``_remember``'s early return; fresh
+            # keys append in iteration order (``fromkeys`` collapses
+            # in-block repeats so ``_seen_order`` stays duplicate-free).
+            merged = dict.fromkeys(keys)
+            if seen.keys().isdisjoint(merged):
+                seen.update(merged)
+                self._seen_order.extend(merged)
+            else:
+                order_add = self._seen_order.append
+                for k in merged:
+                    if k not in seen:
+                        seen[k] = None
+                        order_add(k)
             return
         pending_pop = pending.pop
+        slab_dropped = self._slab_dropped
         window = self.dedup_window
+        evict = self._evict_oldest
+        order_add = self._seen_order.append
         for k in keys:
             if k not in seen:
                 if len(seen) >= window:
-                    del seen[next(iter(seen))]
+                    evict()
                 seen[k] = None
+                order_add(k)
             pending_pop(k, None)
+            if slab_keys and k in slab_keys:
+                slab_keys.discard(k)
+                slab_dropped.add(k)
 
     def next_batch(self, now: float = 0.0) -> tuple[Transaction, ...]:
-        """Form the next block's transaction list."""
+        """Form the next block's transaction list.
+
+        Drain order: scalar client submissions first (FIFO), then the
+        columnar slabs (FIFO, skipping rows that committed while
+        slab-pending), then the synthetic source tops the block up.
+        """
         out: list[Transaction] = []
         while self._pending and len(out) < self.batch_size:
             _, tx = self._pending.popitem(last=False)
             out.append(tx)
+        if self._slabs and len(out) < self.batch_size:
+            self._drain_slabs(out)
         if self.source is not None and len(out) < self.batch_size:
             out.extend(self.source.batch(self.batch_size - len(out), now))
         return tuple(out)
+
+    def _drain_slabs(self, out: list[Transaction]) -> None:
+        """Move up to ``batch_size - len(out)`` slab rows into ``out``."""
+        slab_keys = self._slab_keys
+        dropped = self._slab_dropped
+        while self._slabs and len(out) < self.batch_size:
+            slab = self._slabs[0]
+            keys = slab.keys()
+            n = len(keys)
+            cursor = self._slab_cursor
+            take: list[int] = []
+            need = self.batch_size - len(out)
+            while cursor < n and len(take) < need:
+                k = keys[cursor]
+                if k in dropped:
+                    dropped.discard(k)
+                else:
+                    take.append(cursor)
+                    slab_keys.discard(k)
+                cursor += 1
+            out.extend(slab.mint(take))
+            if cursor >= n:
+                self._slabs.popleft()
+                self._slab_cursor = 0
+            else:
+                self._slab_cursor = cursor
 
 
 __all__ = ["Mempool", "SaturatedSource", "BLOCK_TXS", "DEFAULT_DEDUP_WINDOW"]

@@ -9,7 +9,9 @@ payloads of 0 B (protocol overhead) and 256 B (trend with block size).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
+
+import numpy as np
 
 #: Fixed per-transaction overhead in bytes (paper Sec. VIII).
 TX_OVERHEAD_BYTES = 40
@@ -90,4 +92,113 @@ class TxFactory:
         return tuple(out)
 
 
-__all__ = ["Transaction", "TxFactory", "TX_OVERHEAD_BYTES"]
+class TxBatch:
+    """A columnar slab of transactions: parallel numpy arrays.
+
+    The million-client workload engine mints arrivals in slabs — one
+    simulator event carries hundreds of transactions as four arrays
+    instead of hundreds of :class:`Transaction` objects.  A slab is
+    immutable once built (the arrays are marked read-only), so it can
+    ride inside a frozen message and be shared by every replica's
+    mempool.  Per-transaction Python objects are materialized only at
+    block assembly (:meth:`mint`), and only for the rows that actually
+    enter a block.
+
+    All rows of one slab share ``payload_bytes`` (slabs are minted per
+    region, and the payload mix is a per-region knob).
+    """
+
+    __slots__ = ("client_ids", "tx_ids", "payload_bytes", "submit_times", "_keys")
+
+    def __init__(
+        self,
+        client_ids: np.ndarray,
+        tx_ids: np.ndarray,
+        submit_times: np.ndarray,
+        payload_bytes: int = 0,
+    ) -> None:
+        if not (len(client_ids) == len(tx_ids) == len(submit_times)):
+            raise ValueError("TxBatch columns must have equal length")
+        self.client_ids = np.ascontiguousarray(client_ids, dtype=np.int64)
+        self.tx_ids = np.ascontiguousarray(tx_ids, dtype=np.int64)
+        self.submit_times = np.ascontiguousarray(submit_times, dtype=np.float64)
+        self.payload_bytes = int(payload_bytes)
+        for arr in (self.client_ids, self.tx_ids, self.submit_times):
+            arr.setflags(write=False)
+        self._keys: Optional[list[tuple[int, int]]] = None
+
+    def __len__(self) -> int:
+        return len(self.tx_ids)
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: per-tx overhead plus shared payloads."""
+        return 8 + len(self) * (TX_OVERHEAD_BYTES + self.payload_bytes)
+
+    def keys(self) -> list[tuple[int, int]]:
+        """``(client_id, tx_id)`` per row, cached on the (frozen) slab.
+
+        Built once through C-level ``tolist``/``zip`` — the mempool's
+        batched dedup probes these against its FIFO window, and block
+        assembly skips committed rows by the same list.
+        """
+        if self._keys is None:
+            self._keys = list(
+                zip(self.client_ids.tolist(), self.tx_ids.tolist())
+            )
+        return self._keys
+
+    def select(self, indices: Sequence[int]) -> "TxBatch":
+        """A new slab holding only ``indices`` rows (dedup compaction)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return TxBatch(
+            self.client_ids[idx],
+            self.tx_ids[idx],
+            self.submit_times[idx],
+            self.payload_bytes,
+        )
+
+    def mint(self, indices: Sequence[int]) -> list[Transaction]:
+        """Materialize :class:`Transaction` objects for ``indices`` rows.
+
+        Uses the same ``__new__`` + ``object.__setattr__`` fast path as
+        :meth:`TxFactory.batch`; called only at block assembly for the
+        rows a block actually drains.
+        """
+        keys = self.keys()
+        times = self.submit_times
+        pb = self.payload_bytes
+        new = object.__new__
+        sets = object.__setattr__
+        out: list[Transaction] = []
+        append = out.append
+        for i in indices:
+            cid, tid = keys[i]
+            tx = new(Transaction)
+            sets(tx, "client_id", cid)
+            sets(tx, "tx_id", tid)
+            sets(tx, "payload_bytes", pb)
+            sets(tx, "op", None)
+            sets(tx, "submit_time", float(times[i]))
+            append(tx)
+        return out
+
+    @classmethod
+    def from_transactions(cls, txs: Sequence[Transaction]) -> "TxBatch":
+        """Columnar view of scalar transactions (tests, adapters).
+
+        Payload sizes must agree across ``txs`` (slabs are homogeneous).
+        """
+        if txs and len({t.payload_bytes for t in txs}) > 1:
+            raise ValueError("TxBatch rows share one payload size")
+        return cls(
+            np.array([t.client_id for t in txs], dtype=np.int64),
+            np.array([t.tx_id for t in txs], dtype=np.int64),
+            np.array([t.submit_time for t in txs], dtype=np.float64),
+            txs[0].payload_bytes if txs else 0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TxBatch {len(self)}tx {self.payload_bytes}B>"
+
+
+__all__ = ["Transaction", "TxBatch", "TxFactory", "TX_OVERHEAD_BYTES"]

@@ -1,0 +1,64 @@
+"""Bench suite registry audit: no tier can be silently skipped."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro.bench as bench
+from repro.bench import SUITES, BenchReport, run_suite, suite_names
+from repro.cli import build_parser
+
+
+class TestRegistryCompleteness:
+    def test_every_runner_module_is_registered(self):
+        # Any module in repro.bench exporting a run_*_bench entry point
+        # must appear in SUITES — a new tier cannot be added without
+        # registering it (and thereby joining --suite all).
+        registered = {s.runner for s in SUITES.values()}
+        for info in pkgutil.iter_modules(bench.__path__):
+            mod = importlib.import_module(f"repro.bench.{info.name}")
+            for name in getattr(mod, "__all__", []):
+                if name.startswith("run_") and name.endswith("_bench"):
+                    fn = getattr(mod, name)
+                    assert fn in registered, (
+                        f"{info.name}.{name} is not registered in "
+                        "repro.bench.SUITES"
+                    )
+
+    def test_expected_tiers_present(self):
+        assert suite_names() == [
+            "kernel",
+            "e2e",
+            "crypto",
+            "net",
+            "lint",
+            "workload",
+        ]
+
+    def test_names_are_consistent(self):
+        for name, suite in SUITES.items():
+            assert suite.name == name
+
+    def test_unknown_suite_fails_loudly(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suite("nonexistent")
+
+    def test_cli_choices_derive_from_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(["bench", "--suite", "workload"])
+        assert args.suite == "workload"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bench", "--suite", "bogus"])
+
+    def test_cli_all_is_the_registry(self, capsys):
+        parser = build_parser()
+        args = parser.parse_args(["bench"])
+        assert args.suite == "all"
+
+
+class TestRunSuite:
+    def test_run_suite_dispatches(self):
+        report = run_suite("lint", quick=True)
+        assert isinstance(report, BenchReport)
+        assert report.name == "lint"

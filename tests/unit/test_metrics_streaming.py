@@ -1,0 +1,176 @@
+"""Streaming metrics: sketch accuracy, bounded memory, determinism."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    STREAM_WINDOW,
+    MetricsCollector,
+    P2Quantile,
+    ReservoirSample,
+    StreamingMoments,
+    compute_stats,
+)
+from repro.sim import Simulator
+
+
+def _reservoir_rng(seed=0):
+    return Simulator(seed=seed).rng.stream(
+        "metrics.reservoir", purpose="streaming latency reservoir"
+    )
+
+
+class TestP2Quantile:
+    def test_accuracy_on_million_samples(self):
+        # The satellite gate: p50/p99 within 1% of exact on >= 1M
+        # samples, fixed seed.  Log-normal — skewed like latency data.
+        rng = np.random.default_rng(2024)
+        xs = rng.lognormal(mean=-3.0, sigma=0.6, size=1_000_000)
+        p50, p99 = P2Quantile(0.50), P2Quantile(0.99)
+        add50, add99 = p50.add, p99.add
+        for x in xs.tolist():
+            add50(x)
+            add99(x)
+        exact50, exact99 = np.percentile(xs, [50, 99])
+        assert p50.value() == pytest.approx(exact50, rel=0.01)
+        assert p99.value() == pytest.approx(exact99, rel=0.01)
+
+    def test_exact_below_five_observations(self):
+        q = P2Quantile(0.5)
+        for x in (3.0, 1.0, 2.0):
+            q.add(x)
+        assert q.value() == pytest.approx(2.0)
+
+    def test_constant_memory(self):
+        q = P2Quantile(0.99)
+        for x in range(10_000):
+            q.add(float(x))
+        assert len(q._q) == 5 and len(q._n) == 5
+        assert q.count == 10_000
+
+    def test_deterministic(self):
+        a, b = P2Quantile(0.9), P2Quantile(0.9)
+        xs = np.random.default_rng(5).normal(size=5_000)
+        for x in xs.tolist():
+            a.add(x)
+            b.add(x)
+        assert a.value() == b.value()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+
+class TestReservoirSample:
+    def test_capacity_bound_and_uniformity(self):
+        r = ReservoirSample(_reservoir_rng(), capacity=500)
+        for x in range(50_000):
+            r.add(float(x))
+        assert len(r) == 500
+        assert r.seen == 50_000
+        # A uniform sample of 0..50k has mean near 25k.
+        assert abs(np.mean(r.values()) - 25_000) < 3_000
+
+    def test_deterministic_under_seed(self):
+        a = ReservoirSample(_reservoir_rng(9), capacity=64)
+        b = ReservoirSample(_reservoir_rng(9), capacity=64)
+        for x in range(10_000):
+            a.add(float(x))
+            b.add(float(x))
+        assert a.values() == b.values()
+
+    def test_quantile_of_small_sample(self):
+        r = ReservoirSample(_reservoir_rng(), capacity=10)
+        for x in (1.0, 2.0, 3.0):
+            r.add(x)
+        assert r.quantile(0.5) == pytest.approx(2.0)
+        assert ReservoirSample(_reservoir_rng(1), 4).quantile(0.5) == 0.0
+
+
+class TestStreamingMoments:
+    def test_running_stats(self):
+        m = StreamingMoments()
+        for x in (2.0, 4.0, 6.0):
+            m.add(x)
+        assert m.count == 3
+        assert m.mean() == pytest.approx(4.0)
+        assert (m.min, m.max) == (2.0, 6.0)
+        assert StreamingMoments().mean() == 0.0
+
+
+def _report_block(col, b, t0, n_replicas=4, ntxs=400):
+    h = hashlib.sha256(str(b).encode()).digest()
+    col.on_propose(0, b, h, t0)
+    for r in range(n_replicas):
+        col.on_execute(r, b, h, ntxs, t0 + 0.05 + 0.001 * r, "normal")
+
+
+class TestStreamingCollector:
+    def test_matches_legacy_stats(self):
+        leg = MetricsCollector()
+        st = MetricsCollector(streaming=True, n_replicas=4)
+        for b in range(500):
+            _report_block(leg, b, 0.1 + b * 0.01)
+            _report_block(st, b, 0.1 + b * 0.01)
+            leg.on_view_outcome(0, b, "decide", b * 0.01)
+            st.on_view_outcome(0, b, "decide", b * 0.01)
+        sl, ss = compute_stats(leg), compute_stats(st)
+        assert ss.throughput_tps == pytest.approx(sl.throughput_tps)
+        assert ss.mean_latency_s == pytest.approx(sl.mean_latency_s)
+        assert ss.p50_latency_s == pytest.approx(sl.p50_latency_s, rel=0.01)
+        assert ss.p99_latency_s == pytest.approx(sl.p99_latency_s, rel=0.01)
+        assert ss.blocks_decided == sl.blocks_decided
+        assert ss.txs_decided == sl.txs_decided
+        assert ss.views_decided == sl.views_decided
+        assert ss.timeouts == sl.timeouts
+
+    def test_memory_bounded(self):
+        # 50k blocks — far beyond the open-block window — must leave
+        # only O(STREAM_WINDOW) records behind, and no flat lists.
+        st = MetricsCollector(
+            streaming=True, n_replicas=4, reservoir_rng=_reservoir_rng()
+        )
+        for b in range(50_000):
+            _report_block(st, b, 0.1 + b * 0.01)
+            st.on_view_outcome(0, b, "decide", b * 0.01)
+        assert st.decisions == [] and st.view_outcomes == []
+        assert st.state_size() <= 3 * STREAM_WINDOW
+        stats = compute_stats(st)
+        assert stats.blocks_decided == 50_000
+        assert stats.txs_decided == 50_000 * 400
+
+    def test_warmup_trimmed_inside_collector(self):
+        st = MetricsCollector(streaming=True, n_replicas=4, warmup_blocks=10)
+        for b in range(60):
+            _report_block(st, b, 0.1 + b * 0.01)
+        stats = compute_stats(st)
+        assert stats.blocks_decided == 50
+
+    def test_partial_blocks_flushed_at_compute(self):
+        st = MetricsCollector(streaming=True, n_replicas=4)
+        h = b"\x01" * 32
+        st.on_propose(0, 0, h, 1.0)
+        st.on_execute(0, 0, h, 400, 1.05, "normal")  # 1 of 4 reports
+        stats = compute_stats(st)
+        assert stats.blocks_decided == 1
+        assert stats.mean_latency_s == pytest.approx(0.05)
+
+    def test_deterministic_reservoir_in_collector(self):
+        runs = []
+        for _ in range(2):
+            st = MetricsCollector(
+                streaming=True, n_replicas=2, reservoir_rng=_reservoir_rng(3)
+            )
+            for b in range(9000):
+                _report_block(st, b, 0.1 + b * 0.01, n_replicas=2)
+            st.flush()
+            runs.append(st.reservoir.values())
+        assert runs[0] == runs[1]
+
+    def test_streaming_stats_requires_streaming_mode(self):
+        with pytest.raises(ValueError):
+            MetricsCollector().streaming_stats()

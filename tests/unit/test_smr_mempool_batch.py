@@ -1,0 +1,122 @@
+"""Batched mempool ingest: accept/reject identical to the scalar path."""
+
+import numpy as np
+import pytest
+
+from repro.smr import DEFAULT_DEDUP_WINDOW, Mempool, Transaction, TxBatch
+
+
+def _batch_from_keys(keys, payload=0):
+    return TxBatch(
+        np.array([c for c, _ in keys], dtype=np.int64),
+        np.array([t for _, t in keys], dtype=np.int64),
+        np.arange(len(keys), dtype=np.float64),
+        payload,
+    )
+
+
+def _scalar_submit_all(mp, keys):
+    out = []
+    for i, (c, t) in enumerate(keys):
+        out.append(mp.submit(Transaction(c, t, submit_time=float(i))))
+    return out
+
+
+class TestBatchScalarEquivalence:
+    def test_accepts_match_scalar_with_duplicates_and_eviction(self):
+        rng = np.random.default_rng(11)
+        # Key stream with heavy duplication against a small window so
+        # FIFO eviction (and post-eviction re-admission) is exercised.
+        keys = [
+            (int(c), int(t))
+            for c, t in zip(
+                rng.integers(0, 40, size=3000), rng.integers(0, 25, size=3000)
+            )
+        ]
+        scalar = Mempool(batch_size=10**9, dedup_window=64)
+        batched = Mempool(batch_size=10**9, dedup_window=64)
+        accepts = _scalar_submit_all(scalar, keys)
+        slab_accepts = []
+        for lo in range(0, len(keys), 37):
+            chunk = keys[lo : lo + 37]
+            got = batched.submit_batch(_batch_from_keys(chunk))
+            slab_accepts.append(got)
+        assert sum(accepts) == sum(slab_accepts)
+        # Identical dedup-window contents and order afterwards.
+        assert list(scalar._seen) == list(batched._seen)
+        assert len(scalar) == len(batched)
+
+    def test_across_250k_fifo_horizon(self):
+        # More distinct keys than the default window: the oldest age
+        # out and a retransmission of an aged-out key is re-admitted by
+        # both paths.
+        n = DEFAULT_DEDUP_WINDOW + 10_000
+        keys = [(i % 97, i) for i in range(n)]
+        keys += keys[:500]  # beyond-horizon retransmissions: re-admitted
+        keys += keys[-600:-100]  # in-horizon duplicates: rejected
+        scalar = Mempool(batch_size=10**9)
+        batched = Mempool(batch_size=10**9)
+        n_scalar = sum(_scalar_submit_all(scalar, keys))
+        n_batched = 0
+        for lo in range(0, len(keys), 1024):
+            n_batched += batched.submit_batch(
+                _batch_from_keys(keys[lo : lo + 1024])
+            )
+        assert n_scalar == n_batched == n + 500
+        assert list(scalar._seen) == list(batched._seen)
+
+    def test_interleaved_scalar_and_batch_share_window(self):
+        mp = Mempool(batch_size=10**9, dedup_window=100)
+        assert mp.submit(Transaction(1, 1))
+        assert mp.submit_batch(_batch_from_keys([(1, 1), (2, 2)])) == 1
+        assert not mp.submit(Transaction(2, 2))
+        assert len(mp) == 2
+
+
+class TestSlabDrain:
+    def test_drain_order_scalar_first_then_slabs_fifo(self):
+        mp = Mempool(batch_size=3)
+        mp.submit(Transaction(9, 0))
+        mp.submit_batch(_batch_from_keys([(1, 0), (2, 0), (3, 0)]))
+        first = mp.next_batch()
+        assert [t.key() for t in first] == [(9, 0), (1, 0), (2, 0)]
+        assert [t.key() for t in mp.next_batch()] == [(3, 0)]
+        assert len(mp) == 0
+
+    def test_committed_while_slab_pending_is_skipped(self):
+        mp = Mempool(batch_size=10)
+        mp.submit_batch(_batch_from_keys([(1, 0), (2, 0), (3, 0)]))
+        mp.mark_committed(Transaction(2, 0))
+        assert len(mp) == 2
+        assert [t.key() for t in mp.next_batch()] == [(1, 0), (3, 0)]
+
+    def test_committed_keys_bulk_while_slab_pending(self):
+        mp = Mempool(batch_size=10)
+        mp.submit_batch(_batch_from_keys([(i, 0) for i in range(6)]))
+        mp.mark_committed_keys([(0, 0), (5, 0), (77, 77)])
+        assert len(mp) == 4
+        assert [t.key() for t in mp.next_batch()] == [
+            (i, 0) for i in (1, 2, 3, 4)
+        ]
+
+    def test_minted_rows_carry_slab_metadata(self):
+        mp = Mempool(batch_size=2)
+        slab = TxBatch(
+            np.array([5, 6], dtype=np.int64),
+            np.array([0, 0], dtype=np.int64),
+            np.array([1.25, 2.5]),
+            payload_bytes=256,
+        )
+        mp.submit_batch(slab)
+        txs = mp.next_batch()
+        assert txs[0].payload_bytes == 256
+        assert txs[0].submit_time == pytest.approx(1.25)
+        assert txs[1].submit_time == pytest.approx(2.5)
+
+    def test_partial_slab_drain_keeps_cursor(self):
+        mp = Mempool(batch_size=2)
+        mp.submit_batch(_batch_from_keys([(i, 0) for i in range(5)]))
+        assert len(mp.next_batch()) == 2
+        assert len(mp) == 3
+        assert len(mp.next_batch()) == 2
+        assert [t.key() for t in mp.next_batch()] == [(4, 0)]

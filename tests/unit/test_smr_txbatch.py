@@ -1,0 +1,75 @@
+"""Columnar TxBatch slabs and the batched submit message."""
+
+import numpy as np
+import pytest
+
+from repro.smr import SubmitTxBatch, Transaction, TxBatch, TxFactory
+from repro.smr.transaction import TX_OVERHEAD_BYTES
+
+
+def _slab(n=8, payload=0):
+    return TxBatch(
+        np.arange(n, dtype=np.int64),
+        np.zeros(n, dtype=np.int64),
+        np.linspace(0.0, 1.0, n),
+        payload,
+    )
+
+
+class TestTxBatch:
+    def test_length_and_wire_size(self):
+        b = _slab(10, payload=256)
+        assert len(b) == 10
+        assert b.wire_size() == 8 + 10 * (TX_OVERHEAD_BYTES + 256)
+
+    def test_columns_are_read_only(self):
+        b = _slab()
+        with pytest.raises(ValueError):
+            b.client_ids[0] = 99
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TxBatch(
+                np.arange(3), np.arange(4), np.zeros(3, dtype=np.float64)
+            )
+
+    def test_keys_match_rows(self):
+        b = _slab(5)
+        assert b.keys() == [(i, 0) for i in range(5)]
+
+    def test_select_subset(self):
+        b = _slab(6, payload=4)
+        sub = b.select([1, 4])
+        assert sub.keys() == [(1, 0), (4, 0)]
+        assert sub.payload_bytes == 4
+        assert sub.submit_times.tolist() == [
+            b.submit_times[1], b.submit_times[4]
+        ]
+
+    def test_mint_equals_factory_transactions(self):
+        b = _slab(4, payload=16)
+        txs = b.mint([0, 2])
+        assert all(isinstance(t, Transaction) for t in txs)
+        assert [t.key() for t in txs] == [(0, 0), (2, 0)]
+        assert all(t.payload_bytes == 16 for t in txs)
+        assert txs[1].submit_time == pytest.approx(b.submit_times[2])
+
+    def test_roundtrip_from_transactions(self):
+        factory = TxFactory(client_id=7, payload_bytes=8)
+        txs = [factory.make(now=float(i)) for i in range(5)]
+        b = TxBatch.from_transactions(txs)
+        assert [t.key() for t in b.mint(range(5))] == [t.key() for t in txs]
+
+    def test_from_transactions_rejects_mixed_payloads(self):
+        txs = [
+            Transaction(1, 0, payload_bytes=0),
+            Transaction(1, 1, payload_bytes=256),
+        ]
+        with pytest.raises(ValueError):
+            TxBatch.from_transactions(txs)
+
+
+class TestSubmitTxBatch:
+    def test_wire_size_wraps_batch(self):
+        b = _slab(8, payload=16)
+        assert SubmitTxBatch(b).wire_size() == 8 + b.wire_size()

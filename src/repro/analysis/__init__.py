@@ -27,6 +27,7 @@ from .sanitizer import (
     assert_no_equivocation,
     check_determinism,
     find_equivocations,
+    fingerprint_of,
     fingerprint_run,
     replay_and_check,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "RunFingerprint",
     "DeterminismViolation",
     "EquivocationDetected",
+    "fingerprint_of",
     "fingerprint_run",
     "check_determinism",
     "find_equivocations",

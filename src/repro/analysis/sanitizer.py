@@ -76,6 +76,32 @@ def _hash_chain(collector: MetricsCollector) -> str:
     return h.hexdigest()
 
 
+def fingerprint_of(
+    protocol: str,
+    seed: int,
+    sim: Simulator,
+    network: Network,
+    collector: MetricsCollector,
+) -> RunFingerprint:
+    """Fingerprint an already-executed run (message log must be on).
+
+    Extracted from :func:`fingerprint_run` so harnesses that build
+    their own cluster (the fuzzer, the experiment runner) produce
+    digests on the same canonical form.
+    """
+    if network.message_log is None:
+        raise ValueError("fingerprinting requires network.enable_log()")
+    return RunFingerprint(
+        protocol=protocol,
+        seed=seed,
+        events=sim.events_executed,
+        messages=len(network.message_log),
+        decisions=len(collector.decisions),
+        timeline_hash=_hash_timeline(network.message_log),
+        chain_hash=_hash_chain(collector),
+    )
+
+
 def fingerprint_run(
     protocol: str = "oneshot",
     seed: int = 7,
@@ -89,15 +115,18 @@ def fingerprint_run(
     gst: float = 0.0,
     pre_gst_extra: float = 0.0,
     setup=None,
+    replica_factory=None,
 ) -> tuple[RunFingerprint, MetricsCollector]:
     """Run a small cluster to ``target_blocks`` and fingerprint it.
 
     ``kernel`` selects the simulation substrate (the kernel-parity
     tests fingerprint the same scenario under every kernel and require
     bit-identical digests).  ``gst``/``pre_gst_extra`` configure
-    pre-GST asynchrony, and ``setup`` (if given) is called with the
-    built :class:`~repro.net.network.Network` before the run — the
-    hook point for installing delay hooks or other conditions.
+    pre-GST asynchrony, ``setup`` (if given) is called with the built
+    :class:`~repro.net.network.Network` before the run — the hook
+    point for installing delay hooks or other conditions — and
+    ``replica_factory`` is forwarded to ``build_cluster`` (the zoo
+    property tests fingerprint clusters carrying inert fault mixins).
     """
     info = get_protocol(protocol)
     sim = Simulator(seed=seed, kernel=kernel)
@@ -115,6 +144,7 @@ def fingerprint_run(
         sim,
         network,
         ProtocolConfig(n=info.n_for(f), f=f, timeout_base=timeout_base),
+        replica_factory=replica_factory,
     )
     cluster.start()
     reference = cluster.replicas[0]
@@ -122,15 +152,7 @@ def fingerprint_run(
         until=max_sim_time, stop_when=lambda: len(reference.log) >= target_blocks
     )
     cluster.stop()
-    fp = RunFingerprint(
-        protocol=protocol,
-        seed=seed,
-        events=sim.events_executed,
-        messages=len(network.message_log),
-        decisions=len(cluster.collector.decisions),
-        timeline_hash=_hash_timeline(network.message_log),
-        chain_hash=_hash_chain(cluster.collector),
-    )
+    fp = fingerprint_of(protocol, seed, sim, network, cluster.collector)
     return fp, cluster.collector
 
 
@@ -176,7 +198,9 @@ def check_determinism(
     return first
 
 
-def find_equivocations(collector: MetricsCollector) -> list[str]:
+def find_equivocations(
+    collector: MetricsCollector, replicas: Optional[set[int]] = None
+) -> list[str]:
     """Conflicts in a run's decision records (empty means safe).
 
     Checks the two safety properties the trusted services guarantee:
@@ -186,10 +210,17 @@ def find_equivocations(collector: MetricsCollector) -> list[str]:
       two blocks in one view impossible);
     * **prefix consistency** — any two replicas' decided hash
       sequences agree on their common prefix.
+
+    ``replicas`` (if given) restricts the oracle to those pids — the
+    fuzzer's safety oracle judges only *correct* replicas, since a
+    Byzantine replica's own decision records carry no guarantees.
     """
+    decisions = collector.decisions
+    if replicas is not None:
+        decisions = [d for d in decisions if d.replica in replicas]
     problems: list[str] = []
     by_view: dict[int, set] = {}
-    for d in collector.decisions:
+    for d in decisions:
         by_view.setdefault(d.view, set()).add(d.block_hash)
     for view in sorted(by_view):
         hashes = by_view[view]
@@ -199,11 +230,11 @@ def find_equivocations(collector: MetricsCollector) -> list[str]:
                 f"view {view}: {len(hashes)} conflicting blocks decided ({short})"
             )
     chains: dict[int, list] = {}
-    for d in sorted(collector.decisions, key=lambda d: (d.time, d.view)):
+    for d in sorted(decisions, key=lambda d: (d.time, d.view)):
         chains.setdefault(d.replica, []).append(d.block_hash)
-    replicas = sorted(chains)
-    for i, a in enumerate(replicas):
-        for b in replicas[i + 1 :]:
+    pids = sorted(chains)
+    for i, a in enumerate(pids):
+        for b in pids[i + 1 :]:
             ca, cb = chains[a], chains[b]
             for k, (ha, hb) in enumerate(zip(ca, cb)):
                 if ha != hb:
@@ -240,6 +271,7 @@ __all__ = [
     "RunFingerprint",
     "DeterminismViolation",
     "EquivocationDetected",
+    "fingerprint_of",
     "fingerprint_run",
     "check_determinism",
     "find_equivocations",

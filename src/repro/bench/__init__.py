@@ -28,6 +28,7 @@ from .harness import (
     regressions,
     render_report,
 )
+from .fuzz import run_fuzz_bench
 from .kernel import run_kernel_bench
 from .lint import run_lint_bench
 from .net import run_net_bench
@@ -58,6 +59,7 @@ SUITES: dict[str, BenchSuite] = {
     "net": BenchSuite("net", run_net_bench, kernel_aware=True),
     "lint": BenchSuite("lint", run_lint_bench),
     "workload": BenchSuite("workload", run_workload_bench, kernel_aware=True),
+    "fuzz": BenchSuite("fuzz", run_fuzz_bench, kernel_aware=True),
 }
 
 
@@ -97,6 +99,7 @@ __all__ = [
     "render_report",
     "run_crypto_bench",
     "run_e2e_bench",
+    "run_fuzz_bench",
     "run_kernel_bench",
     "run_lint_bench",
     "run_net_bench",

@@ -1,0 +1,94 @@
+"""Fuzzer throughput benchmarks: scenarios per wall-clock second.
+
+The fuzzer is only useful if a CI smoke tier can afford a meaningful
+seed budget, so this tier gates the end-to-end cost of one fuzz
+iteration — generate a scenario from a seed, execute it through the
+experiment runner under both oracles, judge it:
+
+* ``fuzz_scenarios_per_sec`` — full generate+run+judge iterations per
+  wall-clock second over a verified-green seed range;
+* ``fuzz_gen_per_sec`` — generation alone (scenario expansion is
+  supposed to be noise next to the run);
+* ``fuzz_determinism`` — 1.0 iff two same-seed harness sweeps produce
+  identical fingerprint digests and oracle verdicts.
+
+This module (like :mod:`repro.bench.kernel`) is one of the few places
+allowed to read the wall clock: elapsed real time *is* the
+measurement, so the determinism lint rule is suppressed for it in
+``pyproject.toml``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..fuzz import generate_scenario, run_scenario
+from ..sim import DEFAULT_KERNEL
+from .harness import BenchMetric, BenchReport
+
+#: Seed range used by the timed sweep.  These seeds are verified green
+#: (no oracle failures) so the measured cost is the steady-state fuzz
+#: loop, not shrinking.
+BENCH_SEED_START = 200
+
+
+def bench_generation(seeds: int = 2_000) -> BenchMetric:
+    """Scenario expansion alone: seed -> Scenario dataclass."""
+    start = time.perf_counter()
+    for seed in range(BENCH_SEED_START, BENCH_SEED_START + seeds):
+        generate_scenario(seed)
+    elapsed = time.perf_counter() - start
+    return BenchMetric("fuzz_gen_per_sec", seeds / elapsed, "scenarios/s")
+
+
+def _sweep(seeds: int) -> tuple[float, list]:
+    """One timed fuzz sweep; returns (wall seconds, outcome fingerprint)."""
+    outcomes = []
+    start = time.perf_counter()
+    for seed in range(BENCH_SEED_START, BENCH_SEED_START + seeds):
+        result = run_scenario(generate_scenario(seed))
+        outcomes.append(
+            (
+                seed,
+                result.failure,
+                result.report.blocks_decided,
+                result.fingerprint.digest() if result.fingerprint else None,
+            )
+        )
+    elapsed = time.perf_counter() - start
+    return elapsed, outcomes
+
+
+def bench_fuzz_loop(seeds: int = 40) -> list[BenchMetric]:
+    """The headline gate: full fuzz iterations per wall-clock second,
+    plus the determinism cross-check (two same-seed sweeps, identical
+    verdicts and digests)."""
+    elapsed, outcomes_a = _sweep(seeds)
+    _, outcomes_b = _sweep(seeds)
+    deterministic = 1.0 if outcomes_a == outcomes_b else 0.0
+    return [
+        BenchMetric("fuzz_scenarios_per_sec", seeds / elapsed, "scenarios/s"),
+        BenchMetric("fuzz_determinism", deterministic, "bool"),
+    ]
+
+
+def run_fuzz_bench(quick: bool = False, kernel: str = DEFAULT_KERNEL) -> BenchReport:
+    """Run the fuzzer benches; ``quick`` shrinks the seed budgets.
+
+    ``kernel`` is accepted for registry uniformity; scenarios run on
+    whichever simulation substrate is active.
+    """
+    scale = 4 if quick else 1
+    report = BenchReport(name="fuzz")
+    report.add(bench_generation(2_000 // scale))
+    for m in bench_fuzz_loop(40 // scale):
+        report.add(m)
+    return report
+
+
+__all__ = [
+    "BENCH_SEED_START",
+    "bench_generation",
+    "bench_fuzz_loop",
+    "run_fuzz_bench",
+]

@@ -15,6 +15,9 @@ Examples::
     oneshot-repro bench --tolerance 0.25
     oneshot-repro bench --suite crypto
     oneshot-repro bench --suite net
+    oneshot-repro fuzz run --seeds 200
+    oneshot-repro fuzz replay tests/fuzz/corpus/*.json
+    oneshot-repro fuzz shrink fuzz-findings/seed10-liveness.json
     oneshot-repro lint --format json
 """
 
@@ -280,6 +283,98 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         else:
             report.write(path)
     return 1 if failed else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Adversarial scenario fuzzing (docs/fuzzing.md).
+
+    ``fuzz run`` — generate and execute ``--seeds`` scenarios from
+    ``--start-seed``, judging each with the safety and liveness
+    oracles; failing seeds are shrunk to minimized counterexamples and
+    written as repro files into ``--out``.  Exit 0 = all clean,
+    1 = findings written.
+
+    ``fuzz replay FILE...`` — re-run saved repro files and verify each
+    reproduces its recorded failure kind and fingerprint digest
+    byte-identically.  Exit 0 = all reproduce, 1 = drift.
+
+    ``fuzz shrink FILE`` — re-minimize a repro file in place (or to
+    ``--out-file``).
+    """
+    from pathlib import Path
+
+    from .fuzz import (
+        FuzzConfig,
+        generate_scenario,
+        load_repro,
+        replay_repro,
+        run_scenario,
+        save_repro,
+        shrink,
+        ReplayMismatch,
+    )
+
+    if args.fuzz_command == "run":
+        cfg = FuzzConfig(
+            protocols=tuple(args.protocols),
+            max_f=args.max_f,
+        )
+        out_dir = Path(args.out)
+        findings = 0
+        for seed in range(args.start_seed, args.start_seed + args.seeds):
+            scenario = generate_scenario(seed, cfg)
+            result = run_scenario(scenario)
+            if result.ok:
+                if args.verbose:
+                    print(f"seed {seed}: ok ({scenario.describe()})")
+                continue
+            findings += 1
+            print(f"seed {seed}: {result.report.describe()}")
+            print(f"  scenario: {scenario.describe()}")
+            outcome = shrink(scenario, failing=result, max_runs=args.shrink_runs)
+            path = save_repro(
+                out_dir / f"seed{seed}-{outcome.result.failure}.json",
+                outcome.result,
+                note=(
+                    f"found by `fuzz run` seed {seed}; shrunk in "
+                    f"{outcome.runs} runs"
+                ),
+            )
+            print(
+                f"  minimized ({outcome.runs} shrink runs): "
+                f"{outcome.scenario.describe()}"
+            )
+            print(f"  repro written: {path}")
+        print(
+            f"{args.seeds} scenario(s) from seed {args.start_seed}: "
+            f"{findings} finding(s)"
+        )
+        return 1 if findings else 0
+
+    if args.fuzz_command == "replay":
+        failed = 0
+        for name in args.files:
+            try:
+                result = replay_repro(name)
+            except ReplayMismatch as exc:
+                failed += 1
+                print(f"MISMATCH {exc}")
+                continue
+            print(f"ok {name}: {result.report.describe()}")
+        return 1 if failed else 0
+
+    # shrink
+    repro = load_repro(args.file)
+    outcome = shrink(repro.scenario, max_runs=args.shrink_runs)
+    out_path = Path(args.out_file) if args.out_file else Path(args.file)
+    save_repro(
+        out_path,
+        outcome.result,
+        note=f"re-minimized from {args.file} in {outcome.runs} runs",
+    )
+    print(f"minimized ({outcome.runs} runs): {outcome.scenario.describe()}")
+    print(f"written: {out_path}")
+    return 0
 
 
 def _changed_module_paths(ref: str, root: "Path") -> Optional[set[str]]:
@@ -564,6 +659,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows in the --profile table (default 20)",
     )
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="adversarial scenario fuzzing with safety/liveness oracles",
+    )
+    fuzz_sub = p.add_subparsers(dest="fuzz_command", required=True)
+
+    pf = fuzz_sub.add_parser("run", help="generate + run N seeded scenarios")
+    pf.add_argument("--seeds", type=int, default=100, help="scenario count")
+    pf.add_argument("--start-seed", type=int, default=0, help="first seed")
+    pf.add_argument(
+        "--protocols",
+        nargs="+",
+        default=["oneshot", "damysus", "hotstuff"],
+        help="protocols to draw scenarios from",
+    )
+    pf.add_argument("--max-f", type=int, default=2, help="largest f to draw")
+    pf.add_argument(
+        "--out",
+        default="fuzz-findings",
+        help="directory for minimized repro files of failing seeds",
+    )
+    pf.add_argument(
+        "--shrink-runs",
+        type=int,
+        default=200,
+        help="shrinking budget (scenario executions) per finding",
+    )
+    pf.add_argument("--verbose", action="store_true", help="print passing seeds too")
+    pf.set_defaults(func=_cmd_fuzz)
+
+    pf = fuzz_sub.add_parser(
+        "replay", help="re-run repro files, verify recorded outcome + digest"
+    )
+    pf.add_argument("files", nargs="+", help="repro JSON files")
+    pf.set_defaults(func=_cmd_fuzz)
+
+    pf = fuzz_sub.add_parser("shrink", help="re-minimize a repro file")
+    pf.add_argument("file", help="repro JSON file")
+    pf.add_argument(
+        "--out-file", default=None, help="write minimized repro here (default: in place)"
+    )
+    pf.add_argument(
+        "--shrink-runs", type=int, default=200, help="shrinking budget"
+    )
+    pf.set_defaults(func=_cmd_fuzz)
 
     p = sub.add_parser("lint", help="static invariant checks (docs/invariants.md)")
     p.add_argument("--root", default=None, help="package dir to lint (default: repro)")

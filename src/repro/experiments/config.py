@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Optional
 
 from ..net import DEFAULT_BANDWIDTH_BPS
 
@@ -60,6 +60,20 @@ class ExperimentConfig:
             f"{self.protocol} f={self.f} {self.deployment} "
             f"{self.payload_bytes}B seed={self.seed}"
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable field map (all fields are scalars)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`; unknown keys raise (a repro file
+        from a future format should fail loudly, not half-load)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown ExperimentConfig fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 __all__ = ["ExperimentConfig"]

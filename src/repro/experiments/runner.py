@@ -54,8 +54,19 @@ def run_experiment(
     config: ExperimentConfig,
     replica_factory: Optional[ReplicaFactory] = None,
     enable_message_log: bool = False,
+    instrument: Optional[Callable[[Simulator, Network, Cluster], None]] = None,
+    reference_pid: int = 0,
 ) -> RunResult:
-    """Run one experiment to completion and return its results."""
+    """Run one experiment to completion and return its results.
+
+    ``instrument`` (if given) is called with the built simulator,
+    network and cluster just before the cluster starts — the hook the
+    fuzz harness uses to install network conditions, adaptive
+    adversaries and TEE storms without forking the run path.
+    ``reference_pid`` selects the replica whose executed-block count
+    drives the stop condition (the fuzzer points it at a replica its
+    scenario leaves correct).
+    """
     info = get_protocol(config.protocol)
     n = info.n_for(config.f)
     sim = Simulator(seed=config.seed, kernel=config.kernel)
@@ -105,10 +116,12 @@ def run_experiment(
         )
     elif config.workload != "saturated":
         raise ValueError(f"unknown workload model {config.workload!r}")
+    if instrument is not None:
+        instrument(sim, network, cluster)
     cluster.start()
     if engine is not None:
         engine.start()
-    reference = cluster.replicas[0]
+    reference = cluster.replicas[reference_pid]
     target = config.target_blocks + config.warmup_blocks
     sim.run(
         until=config.max_sim_time,

@@ -6,6 +6,7 @@ from .byzantine import (
     Crashed,
     Equivocator,
     GarbageSender,
+    Restarting,
     SilentLeader,
     SlowSender,
     VoteWithholder,
@@ -27,6 +28,7 @@ __all__ = [
     "Crashed",
     "Equivocator",
     "GarbageSender",
+    "Restarting",
     "SilentLeader",
     "SlowSender",
     "VoteWithholder",

@@ -32,13 +32,24 @@ ViewSelector = Callable[[int], bool]
 
 @dataclass(frozen=True)
 class Fault:
-    """One replica's assigned misbehaviour."""
+    """One replica's assigned misbehaviour.
+
+    Window semantics are half-open ``[start, end)``: ``start == end``
+    is a legal *inert* fault (never active), while ``end < start`` can
+    only be a scenario bug and raises at construction.
+    """
 
     pid: int
     behaviour: str
     start: float = 0.0
     end: float = math.inf
     attrs: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"fault window inverted: end {self.end} < start {self.start}"
+            )
 
 
 @dataclass

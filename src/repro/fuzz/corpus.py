@@ -1,0 +1,124 @@
+"""Repro files: serialized counterexamples that replay byte-identically.
+
+A repro file is a small JSON document:
+
+.. code-block:: json
+
+    {
+      "format": "repro.fuzz/1",
+      "note": "free-form provenance",
+      "scenario": { ...Scenario.to_dict()... },
+      "expect": {
+        "failure": "safety" | "crash" | "liveness" | null,
+        "digest": "<RunFingerprint.digest()> or null (crashed runs)",
+        "blocks_decided": 3
+      }
+    }
+
+``expect`` records what the run did when the file was written; replay
+re-runs the scenario and verifies both the failure kind and — when the
+run completed — the exact fingerprint digest.  The committed regression
+corpus under ``tests/fuzz/corpus/`` is replayed in CI, so any drift in
+protocol, fault or network code that changes these runs is caught.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from .harness import FuzzResult, run_scenario
+from .scenario import Scenario
+
+FORMAT = "repro.fuzz/1"
+
+
+class ReplayMismatch(AssertionError):
+    """A repro file no longer reproduces its recorded outcome."""
+
+
+@dataclass(frozen=True)
+class ReproFile:
+    """One parsed repro document."""
+
+    scenario: Scenario
+    expect_failure: Optional[str]
+    expect_digest: Optional[str]
+    expect_blocks: int
+    note: str = ""
+
+
+def make_repro(result: FuzzResult, note: str = "") -> dict:
+    """The JSON document describing ``result``."""
+    return {
+        "format": FORMAT,
+        "note": note,
+        "scenario": result.scenario.to_dict(),
+        "expect": {
+            "failure": result.failure,
+            "digest": (
+                result.fingerprint.digest() if result.fingerprint is not None else None
+            ),
+            "blocks_decided": result.report.blocks_decided,
+        },
+    }
+
+
+def save_repro(path: Union[str, Path], result: FuzzResult, note: str = "") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(make_repro(result, note=note), indent=2) + "\n")
+    return path
+
+
+def load_repro(path: Union[str, Path]) -> ReproFile:
+    data = json.loads(Path(path).read_text())
+    fmt = data.get("format")
+    if fmt != FORMAT:
+        raise ValueError(f"{path}: unknown repro format {fmt!r}")
+    expect = data.get("expect", {})
+    return ReproFile(
+        scenario=Scenario.from_dict(data["scenario"]),
+        expect_failure=expect.get("failure"),
+        expect_digest=expect.get("digest"),
+        expect_blocks=int(expect.get("blocks_decided", 0)),
+        note=data.get("note", ""),
+    )
+
+
+def replay_repro(path: Union[str, Path]) -> FuzzResult:
+    """Re-run a repro file and verify it reproduces exactly."""
+    repro = load_repro(path)
+    result = run_scenario(repro.scenario)
+    if result.failure != repro.expect_failure:
+        raise ReplayMismatch(
+            f"{path}: expected failure {repro.expect_failure!r}, "
+            f"got {result.failure!r} ({result.report.describe()})"
+        )
+    if repro.expect_digest is not None:
+        got = result.fingerprint.digest() if result.fingerprint is not None else None
+        if got != repro.expect_digest:
+            raise ReplayMismatch(
+                f"{path}: fingerprint drift — expected {repro.expect_digest[:16]}…, "
+                f"got {str(got)[:16]}…"
+            )
+    return result
+
+
+def corpus_paths(directory: Union[str, Path]) -> list[Path]:
+    """All repro files in a corpus directory, sorted for determinism."""
+    return sorted(Path(directory).glob("*.json"))
+
+
+__all__ = [
+    "FORMAT",
+    "ReplayMismatch",
+    "ReproFile",
+    "make_repro",
+    "save_repro",
+    "load_repro",
+    "replay_repro",
+    "corpus_paths",
+]

@@ -1,0 +1,169 @@
+"""Seed-driven scenario generation.
+
+``generate_scenario(seed, cfg)`` maps one integer to one
+:class:`~repro.fuzz.scenario.Scenario`, drawing every choice from a
+dedicated :class:`~repro.sim.rng.RngRegistry` stream derived from that
+seed.  The generator's registry is completely separate from the
+simulation's (the run builds its own ``Simulator(seed=...)``), so
+generation cannot perturb the RNG streams of the run it describes —
+that separation is what makes a generated fault-free scenario
+fingerprint-identical to the plain ``experiments.runner`` path.
+
+Structural invariants the generator maintains:
+
+* at most ``f`` Byzantine replicas (the protocols' resilience bound);
+* the reference replica (stop condition + liveness oracle) is correct
+  and is never isolated;
+* every fault window and network condition closes before
+  ``quiesce_time``, and ``max_sim_time`` leaves a generous progress
+  budget after it — so the liveness oracle judges recovery, not luck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..sim.rng import RngRegistry
+from .scenario import AdaptiveSpec, DegradeSpec, FaultSpec, IsolateSpec, Scenario
+
+#: Behaviour-specific knobs: name -> (attr, low, high) ranges drawn
+#: when the behaviour is assigned.
+_BEHAVIOUR_ATTRS: dict[str, list[tuple[str, float, float]]] = {
+    "slow": [("slow_delay", 0.05, 0.5)],
+    "restart": [
+        ("restart_period", 0.4, 1.2),
+        ("outage", 0.1, 0.3),
+        ("seal_interval", 0.2, 0.6),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs bounding the scenario space."""
+
+    protocols: tuple[str, ...] = ("oneshot", "damysus", "hotstuff")
+    behaviours: tuple[str, ...] = (
+        "crashed",
+        "silent-leader",
+        "slow",
+        "withhold",
+        "equivocate",
+        "restart",
+        "garbage",
+    )
+    max_f: int = 2
+    min_blocks: int = 4
+    max_blocks: int = 8
+    #: Latest time any fault window / condition may open.
+    horizon: float = 2.0
+    #: Longest single fault window or condition.
+    max_window: float = 2.0
+    #: Sim-time progress budget granted after everything quiesces.
+    #: Generous on purpose: the pacemaker's exponential backoff (doubling
+    #: to a 60 s cap) means a *recoverable* stall can legitimately take a
+    #: couple of simulated minutes to clear — only runs that cannot
+    #: recover at all should fail the liveness oracle.  Stalled sim-time
+    #: is nearly free (timeout events only), and passing runs stop at
+    #: their block target regardless.
+    liveness_budget: float = 240.0
+    timeout_base: float = 0.2
+    latency_s: float = 0.002
+
+
+DEFAULT_CONFIG = FuzzConfig()
+
+
+def generate_scenario(seed: int, cfg: FuzzConfig = DEFAULT_CONFIG) -> Scenario:
+    """Deterministically expand ``seed`` into a scenario."""
+    rng = RngRegistry(seed, namespace="fuzz").stream(
+        "generate", purpose="scenario generation choices"
+    )
+    protocol = cfg.protocols[rng.integers(len(cfg.protocols))]
+    f = 1 + int(rng.integers(cfg.max_f))
+    from ..protocols.registry import get_protocol
+
+    n = get_protocol(protocol).n_for(f)
+
+    def window() -> tuple[float, float]:
+        start = float(rng.uniform(0.0, cfg.horizon))
+        length = float(rng.uniform(0.1, cfg.max_window))
+        return round(start, 4), round(start + length, 4)
+
+    # --- Byzantine assignments (at most f, unique pids) ---------------
+    n_faults = int(rng.integers(0, f + 1))
+    pids = list(rng.permutation(n)[:n_faults])
+    faults = []
+    for pid in pids:
+        behaviour = cfg.behaviours[rng.integers(len(cfg.behaviours))]
+        start, end = window()
+        attrs = tuple(
+            (name, round(float(rng.uniform(lo, hi)), 4))
+            for name, lo, hi in _BEHAVIOUR_ATTRS.get(behaviour, [])
+        )
+        faults.append(
+            FaultSpec(pid=int(pid), behaviour=behaviour, start=start, end=end, attrs=attrs)
+        )
+    faulty = {f.pid for f in faults}
+    reference_pid = min(p for p in range(n) if p not in faulty)
+
+    # --- Network conditions -------------------------------------------
+    degrades = []
+    for _ in range(int(rng.integers(0, 3))):
+        start, end = window()
+        extra = round(float(rng.uniform(0.005, 0.1)), 4)
+        nodes: Optional[tuple[int, ...]] = None
+        if rng.random() < 0.5:
+            # Leader-targeted degradation: aim at the leader of a view
+            # the run is likely to pass through (round-robin schedule).
+            view = int(rng.integers(0, 8))
+            nodes = (view % n,)
+        degrades.append(DegradeSpec(start=start, end=end, extra_s=extra, nodes=nodes))
+    isolates = []
+    if rng.random() < 0.4:
+        victims = [p for p in range(n) if p != reference_pid]
+        node = int(victims[rng.integers(len(victims))])
+        start, end = window()
+        delay = round(float(rng.uniform(0.5, 2.0)), 4)
+        isolates.append(IsolateSpec(node=node, start=start, end=end, delay_s=delay))
+
+    # --- Adaptive adversary -------------------------------------------
+    adaptive = None
+    if rng.random() < 0.3:
+        start, end = window()
+        adaptive = AdaptiveSpec(
+            start=start,
+            end=end,
+            extra_s=round(float(rng.uniform(0.01, 0.1)), 4),
+            period=round(float(rng.uniform(0.05, 0.2)), 4),
+        )
+
+    # --- Asynchrony before GST ----------------------------------------
+    gst = 0.0
+    pre_gst_extra = 0.0
+    if rng.random() < 0.3:
+        gst = round(float(rng.uniform(0.1, cfg.horizon)), 4)
+        pre_gst_extra = round(float(rng.uniform(0.01, 0.1)), 4)
+
+    scenario = Scenario(
+        protocol=protocol,
+        f=f,
+        seed=seed,
+        target_blocks=int(rng.integers(cfg.min_blocks, cfg.max_blocks + 1)),
+        timeout_base=cfg.timeout_base,
+        latency_s=cfg.latency_s,
+        gst=gst,
+        pre_gst_extra=pre_gst_extra,
+        max_sim_time=0.0,  # placeholder, patched below
+        reference_pid=reference_pid,
+        faults=tuple(faults),
+        degrades=tuple(degrades),
+        isolates=tuple(isolates),
+        adaptive=adaptive,
+    )
+    budget = round(scenario.quiesce_time() + cfg.liveness_budget, 4)
+    return replace(scenario, max_sim_time=budget)
+
+
+__all__ = ["FuzzConfig", "DEFAULT_CONFIG", "generate_scenario"]

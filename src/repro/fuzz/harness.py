@@ -1,0 +1,98 @@
+"""Execute one scenario under the oracles.
+
+``run_scenario`` is a thin layer over the canonical
+:func:`repro.experiments.runner.run_experiment` path — the fuzzer does
+not fork the run loop.  It contributes exactly three things:
+
+* an ``instrument`` callback that installs the scenario's network
+  conditions and adaptive adversary on the freshly-built network (and
+  captures the cluster so the oracles can inspect it);
+* exception containment — a genuine safety violation routinely crashes
+  correct replicas afterwards (``ExecutionLog.execute`` refuses
+  conflicting chains), and the harness must classify that run as a
+  safety failure, not die with it;
+* the oracle verdict and a :class:`~repro.analysis.RunFingerprint`
+  (for replay-identity checks) packed into a :class:`FuzzResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis import RunFingerprint, fingerprint_of
+from ..experiments.runner import run_experiment
+from ..net.conditions import degrade_window, isolate_node
+from .adversary import AdaptiveLeaderDelay
+from .oracles import OracleReport, judge
+from .scenario import Scenario
+
+
+@dataclass(frozen=True)
+class FuzzResult:
+    """Everything the fuzz loop / shrinker needs from one run."""
+
+    scenario: Scenario
+    report: OracleReport
+    fingerprint: Optional[RunFingerprint]
+
+    @property
+    def ok(self) -> bool:
+        return self.report.failure is None
+
+    @property
+    def failure(self) -> Optional[str]:
+        return self.report.failure
+
+    def describe(self) -> str:
+        return f"seed {self.scenario.seed}: {self.report.describe()}"
+
+
+def run_scenario(scenario: Scenario) -> FuzzResult:
+    """Run ``scenario`` to completion (or crash) and judge it."""
+    captured: dict = {}
+
+    def instrument(sim, network, cluster) -> None:
+        captured["sim"] = sim
+        captured["network"] = network
+        captured["cluster"] = cluster
+        for d in scenario.degrades:
+            degrade_window(network, d.start, d.end, d.extra_s, nodes=d.nodes)
+        for iso in scenario.isolates:
+            isolate_node(network, iso.node, iso.start, iso.end, delay_s=iso.delay_s)
+        if scenario.adaptive is not None:
+            AdaptiveLeaderDelay(scenario.adaptive).install(sim, network, cluster)
+
+    config = scenario.to_experiment_config()
+    plan = scenario.fault_plan()
+    factory = plan.factory() if plan.faults else None
+    crashed: Optional[str] = None
+    try:
+        # The runner's result (metrics folded from its RNG streams) is
+        # discarded — the oracles read the captured cluster directly.
+        run_experiment(  # repro: lint-ignore[stream-purity]
+            config,
+            replica_factory=factory,
+            enable_message_log=True,
+            instrument=instrument,
+            reference_pid=scenario.reference_pid,
+        )
+    except Exception as exc:  # noqa: BLE001 - classified by the oracles
+        if "cluster" not in captured:
+            raise  # setup failure: a fuzzer bug, not a protocol finding
+        crashed = f"{type(exc).__name__}: {exc}"
+    cluster = captured["cluster"]
+    report = judge(scenario, cluster, crashed=crashed)
+    fingerprint = None
+    if crashed is None:
+        fingerprint = fingerprint_of(
+            scenario.protocol,
+            scenario.seed,
+            captured["sim"],
+            captured["network"],
+            cluster.collector,
+        )
+    return FuzzResult(scenario=scenario, report=report, fingerprint=fingerprint)
+
+
+__all__ = ["FuzzResult", "run_scenario"]

@@ -1,0 +1,101 @@
+"""Safety and liveness oracles for fuzzed runs.
+
+Every generated scenario is judged by both:
+
+* **safety** — restricted to *correct* replicas: the equivocation
+  oracle (no view decides two blocks, per-replica chains
+  prefix-consistent — :func:`repro.analysis.find_equivocations`) plus
+  a direct :func:`repro.smr.prefix_agreement` over the execution logs.
+  A run that crashed a correct replica mid-commit is still examined:
+  whatever decisions were recorded before the crash are evidence.
+* **liveness** — after the scenario quiesces (fault windows closed,
+  conditions lifted, GST passed) the reference replica must reach the
+  target block count within the scenario's generous sim-time budget.
+
+Failures rank ``safety > crash > liveness``: a safety violation is
+reported even when the run also stalled or raised, because a fork
+routinely *causes* downstream crashes (``ExecutionLog`` refuses
+conflicting executions) and the fork is the root cause worth shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..analysis import find_equivocations
+from ..protocols.common import Cluster
+from ..smr import prefix_agreement
+from .scenario import Scenario
+
+#: Failure kinds, most severe first.
+SAFETY = "safety"
+CRASH = "crash"
+LIVENESS = "liveness"
+
+
+@dataclass(frozen=True)
+class OracleReport:
+    """Verdict of both oracles on one run."""
+
+    safety_problems: tuple[str, ...]
+    blocks_decided: int
+    target_blocks: int
+    crashed: Optional[str] = None
+
+    @property
+    def safety_ok(self) -> bool:
+        return not self.safety_problems
+
+    @property
+    def liveness_ok(self) -> bool:
+        return self.blocks_decided >= self.target_blocks
+
+    @property
+    def failure(self) -> Optional[str]:
+        """Most severe failure kind, or None for a clean run."""
+        if not self.safety_ok:
+            return SAFETY
+        if self.crashed is not None:
+            return CRASH
+        if not self.liveness_ok:
+            return LIVENESS
+        return None
+
+    def describe(self) -> str:
+        if self.failure is None:
+            return f"ok ({self.blocks_decided}/{self.target_blocks} blocks)"
+        if self.failure == SAFETY:
+            return "SAFETY: " + "; ".join(self.safety_problems)
+        if self.failure == CRASH:
+            return f"CRASH: {self.crashed}"
+        return (
+            f"LIVENESS: {self.blocks_decided}/{self.target_blocks} "
+            "blocks by deadline"
+        )
+
+
+def check_safety(cluster: Cluster) -> list[str]:
+    """Safety problems among the cluster's correct replicas."""
+    correct = cluster.correct_replicas()
+    correct_pids = {r.pid for r in correct}
+    problems = find_equivocations(cluster.collector, replicas=correct_pids)
+    if correct and not prefix_agreement([r.log for r in correct]):
+        problems.append("correct replicas' execution logs are not prefix-consistent")
+    return problems
+
+
+def judge(
+    scenario: Scenario, cluster: Cluster, crashed: Optional[str] = None
+) -> OracleReport:
+    """Run both oracles over a finished (or crashed) run."""
+    reference = cluster.replicas[scenario.reference_pid]
+    return OracleReport(
+        safety_problems=tuple(check_safety(cluster)),
+        blocks_decided=len(reference.log),
+        target_blocks=scenario.target_blocks,
+        crashed=crashed,
+    )
+
+
+__all__ = ["OracleReport", "check_safety", "judge", "SAFETY", "CRASH", "LIVENESS"]

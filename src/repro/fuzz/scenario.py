@@ -1,0 +1,230 @@
+"""The fuzzer's scenario grammar.
+
+A :class:`Scenario` is a complete, serializable description of one
+adversarial run: which protocol and cluster size, which replicas are
+Byzantine (behaviour + time window + knobs), which network conditions
+apply when, and whether an adaptive leader-chasing adversary is
+active.  Everything is a frozen dataclass of JSON scalars, so a
+scenario round-trips through ``to_dict``/``from_dict`` losslessly and
+a saved repro file replays the exact run (same seed, same events).
+
+The grammar deliberately composes only *existing* machinery:
+behaviours come from :mod:`repro.faults.byzantine`, conditions from
+:mod:`repro.net.conditions`, restart storms from the ``restart``
+behaviour built on :mod:`repro.tee.rollback`, and the run itself goes
+through :func:`repro.experiments.runner.run_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Optional
+
+from ..experiments.config import ExperimentConfig
+from ..faults import BEHAVIOURS, FaultPlan
+
+
+def _specs_to_dicts(specs) -> list[dict]:
+    return [{f.name: getattr(s, f.name) for f in fields(s)} for s in specs]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One Byzantine assignment: ``pid`` runs ``behaviour`` in
+    ``[start, end)`` with behaviour-specific ``attrs``."""
+
+    pid: int
+    behaviour: str
+    start: float = 0.0
+    end: float = 0.0
+    attrs: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in BEHAVIOURS:
+            raise ValueError(f"unknown behaviour {self.behaviour!r}")
+        if self.end < self.start:
+            raise ValueError(
+                f"fault window inverted: end {self.end} < start {self.start}"
+            )
+
+
+@dataclass(frozen=True)
+class DegradeSpec:
+    """WAN churn: extra delay on (optionally node-filtered) traffic."""
+
+    start: float
+    end: float
+    extra_s: float
+    nodes: Optional[tuple[int, ...]] = None
+
+
+@dataclass(frozen=True)
+class IsolateSpec:
+    """A time-windowed partition of one node (links stay reliable:
+    isolation is a large delay, messages eventually arrive)."""
+
+    node: int
+    start: float
+    end: float
+    delay_s: float = 2.0
+
+
+@dataclass(frozen=True)
+class AdaptiveSpec:
+    """Adaptive adversary: every ``period`` seconds re-aim ``extra_s``
+    of delay at whichever replica currently leads (read from live
+    protocol state) during ``[start, end)``."""
+
+    start: float
+    end: float
+    extra_s: float = 0.05
+    period: float = 0.1
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified adversarial run."""
+
+    protocol: str = "oneshot"
+    f: int = 1
+    seed: int = 0
+    target_blocks: int = 6
+    timeout_base: float = 0.2
+    latency_s: float = 0.002
+    gst: float = 0.0
+    pre_gst_extra: float = 0.0
+    max_sim_time: float = 30.0
+    #: Replica whose chain drives the stop condition and the liveness
+    #: oracle; the generator always picks a non-faulty pid.
+    reference_pid: int = 0
+    faults: tuple[FaultSpec, ...] = ()
+    degrades: tuple[DegradeSpec, ...] = ()
+    isolates: tuple[IsolateSpec, ...] = ()
+    adaptive: Optional[AdaptiveSpec] = None
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def n(self) -> int:
+        from ..protocols.registry import get_protocol
+
+        return get_protocol(self.protocol).n_for(self.f)
+
+    def faulty_pids(self) -> set[int]:
+        return {f.pid for f in self.faults}
+
+    def quiesce_time(self) -> float:
+        """When all injected trouble is over (fault windows closed,
+        conditions lifted, GST passed) — the liveness clock starts."""
+        ends = [self.gst]
+        ends += [f.end for f in self.faults]
+        ends += [d.end for d in self.degrades]
+        ends += [i.end + i.delay_s for i in self.isolates]
+        if self.adaptive is not None:
+            ends.append(self.adaptive.end)
+        return max(ends)
+
+    def to_experiment_config(self) -> ExperimentConfig:
+        return ExperimentConfig(
+            protocol=self.protocol,
+            f=self.f,
+            deployment="local",
+            target_blocks=self.target_blocks,
+            max_sim_time=self.max_sim_time,
+            seed=self.seed,
+            timeout_base=self.timeout_base,
+            local_latency_s=self.latency_s,
+            gst=self.gst,
+            pre_gst_extra=self.pre_gst_extra,
+            warmup_blocks=0,
+        )
+
+    def fault_plan(self) -> FaultPlan:
+        plan = FaultPlan()
+        for f in self.faults:
+            plan.add(f.pid, f.behaviour, start=f.start, end=f.end, **dict(f.attrs))
+        return plan
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("faults", "degrades", "isolates", "adaptive")
+        }
+        d["faults"] = [
+            {
+                "pid": f.pid,
+                "behaviour": f.behaviour,
+                "start": f.start,
+                "end": f.end,
+                "attrs": [[k, v] for k, v in f.attrs],
+            }
+            for f in self.faults
+        ]
+        d["degrades"] = [
+            {
+                "start": x.start,
+                "end": x.end,
+                "extra_s": x.extra_s,
+                "nodes": list(x.nodes) if x.nodes is not None else None,
+            }
+            for x in self.degrades
+        ]
+        d["isolates"] = _specs_to_dicts(self.isolates)
+        d["adaptive"] = (
+            None
+            if self.adaptive is None
+            else {f.name: getattr(self.adaptive, f.name) for f in fields(AdaptiveSpec)}
+        )
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        d = dict(data)
+        d["faults"] = tuple(
+            FaultSpec(
+                pid=f["pid"],
+                behaviour=f["behaviour"],
+                start=f["start"],
+                end=f["end"],
+                attrs=tuple((k, v) for k, v in f.get("attrs", [])),
+            )
+            for f in d.get("faults", [])
+        )
+        d["degrades"] = tuple(
+            DegradeSpec(
+                start=x["start"],
+                end=x["end"],
+                extra_s=x["extra_s"],
+                nodes=tuple(x["nodes"]) if x.get("nodes") is not None else None,
+            )
+            for x in d.get("degrades", [])
+        )
+        d["isolates"] = tuple(
+            IsolateSpec(**x) for x in d.get("isolates", [])
+        )
+        adaptive = d.get("adaptive")
+        d["adaptive"] = None if adaptive is None else AdaptiveSpec(**adaptive)
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown Scenario fields: {sorted(unknown)}")
+        return cls(**d)
+
+    def describe(self) -> str:
+        bits = [f"{self.protocol} f={self.f} seed={self.seed}"]
+        for f in self.faults:
+            bits.append(f"{f.behaviour}@{f.pid}[{f.start:.2f},{f.end:.2f})")
+        if self.degrades:
+            bits.append(f"{len(self.degrades)} degrade(s)")
+        if self.isolates:
+            bits.append(f"{len(self.isolates)} partition(s)")
+        if self.adaptive is not None:
+            bits.append("adaptive")
+        return " ".join(bits)
+
+
+__all__ = ["FaultSpec", "DegradeSpec", "IsolateSpec", "AdaptiveSpec", "Scenario"]

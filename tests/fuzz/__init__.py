@@ -1,0 +1,2 @@
+"""Fuzzer test tier: corpus replay, fresh-seed smoke, oracle and
+shrinker self-tests (docs/fuzzing.md)."""

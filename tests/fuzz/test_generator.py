@@ -1,0 +1,67 @@
+"""Generator determinism and the structural invariants it promises."""
+
+import json
+
+import pytest
+
+from repro.fuzz import FuzzConfig, Scenario, generate_scenario
+from repro.protocols.registry import get_protocol
+
+SEEDS = range(0, 40)
+
+
+def test_same_seed_same_scenario():
+    for seed in (0, 7, 123, 99991):
+        assert generate_scenario(seed) == generate_scenario(seed)
+
+
+def test_seeds_explore_the_space():
+    scenarios = [generate_scenario(s) for s in SEEDS]
+    assert len(set(scenarios)) == len(scenarios)
+    assert {s.protocol for s in scenarios} == {"oneshot", "damysus", "hotstuff"}
+    assert any(s.faults for s in scenarios)
+    assert any(s.degrades for s in scenarios)
+    assert any(s.isolates for s in scenarios)
+    assert any(s.adaptive is not None for s in scenarios)
+    assert any(s.gst > 0 for s in scenarios)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_structural_invariants(seed):
+    s = generate_scenario(seed)
+    n = get_protocol(s.protocol).n_for(s.f)
+    assert s.n() == n
+    # Resilience bound: at most f Byzantine replicas, unique pids.
+    assert len(s.faults) <= s.f
+    assert len(s.faulty_pids()) == len(s.faults)
+    assert all(0 <= f.pid < n for f in s.faults)
+    # The reference replica is correct and never partitioned away.
+    assert 0 <= s.reference_pid < n
+    assert s.reference_pid not in s.faulty_pids()
+    assert all(i.node != s.reference_pid for i in s.isolates)
+    # All trouble quiesces with a progress budget to spare.
+    assert s.max_sim_time > s.quiesce_time()
+    assert all(f.end >= f.start for f in s.faults)
+
+
+def test_config_restricts_protocols_and_behaviours():
+    cfg = FuzzConfig(protocols=("hotstuff",), behaviours=("crashed",), max_f=1)
+    for seed in range(20):
+        s = generate_scenario(seed, cfg)
+        assert s.protocol == "hotstuff"
+        assert s.f == 1
+        assert all(f.behaviour == "crashed" for f in s.faults)
+
+
+@pytest.mark.parametrize("seed", [0, 3, 10, 25])
+def test_json_round_trip(seed):
+    s = generate_scenario(seed)
+    wire = json.dumps(s.to_dict())
+    assert Scenario.from_dict(json.loads(wire)) == s
+
+
+def test_from_dict_rejects_unknown_fields():
+    d = generate_scenario(0).to_dict()
+    d["surprise"] = 1
+    with pytest.raises(ValueError, match="unknown Scenario fields"):
+        Scenario.from_dict(d)

@@ -78,3 +78,105 @@ def test_timeline_command_chained(capsys):
     assert main(["timeline", "--protocol", "hotstuff-chained", "--views", "3", "3"]) == 0
     out = capsys.readouterr().out
     assert "vote-prepare" in out
+
+
+def test_fuzz_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fuzz"])
+
+
+def test_fuzz_run_command(capsys, tmp_path):
+    assert (
+        main(
+            [
+                "fuzz",
+                "run",
+                "--seeds",
+                "3",
+                "--start-seed",
+                "200",
+                "--out",
+                str(tmp_path),
+                "--verbose",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "3 scenario(s) from seed 200: 0 finding(s)" in out
+    assert "seed 200: ok" in out
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_fuzz_run_writes_minimized_repro_on_finding(capsys, tmp_path):
+    # Seed 10 is the pinned HotStuff view-split livelock: the run must
+    # exit 1, shrink the counterexample and serialize it.
+    assert (
+        main(
+            [
+                "fuzz",
+                "run",
+                "--seeds",
+                "1",
+                "--start-seed",
+                "10",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "seed 10: LIVENESS" in out
+    assert "minimized" in out
+    files = list(tmp_path.glob("*.json"))
+    assert len(files) == 1 and files[0].name == "seed10-liveness.json"
+
+
+def test_fuzz_replay_command(capsys):
+    from pathlib import Path
+
+    corpus = Path(__file__).parent.parent / "fuzz" / "corpus"
+    target = corpus / "fault-free-clean.json"
+    assert main(["fuzz", "replay", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert f"ok {target}" in out
+
+
+def test_fuzz_replay_flags_drift(capsys, tmp_path):
+    import json
+    from pathlib import Path
+
+    corpus = Path(__file__).parent.parent / "fuzz" / "corpus"
+    data = json.loads((corpus / "fault-free-clean.json").read_text())
+    data["expect"]["digest"] = "0" * 64
+    bad = tmp_path / "drifted.json"
+    bad.write_text(json.dumps(data))
+    assert main(["fuzz", "replay", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "MISMATCH" in out
+
+
+def test_fuzz_shrink_command(capsys, tmp_path):
+    from pathlib import Path
+
+    corpus = Path(__file__).parent.parent / "fuzz" / "corpus"
+    src = corpus / "hotstuff-view-split-liveness.json"
+    out_file = tmp_path / "minimized.json"
+    assert (
+        main(
+            [
+                "fuzz",
+                "shrink",
+                str(src),
+                "--out-file",
+                str(out_file),
+                "--shrink-runs",
+                "10",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "minimized" in out
+    assert out_file.exists()

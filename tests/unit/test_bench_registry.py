@@ -34,6 +34,7 @@ class TestRegistryCompleteness:
             "net",
             "lint",
             "workload",
+            "fuzz",
         ]
 
     def test_names_are_consistent(self):

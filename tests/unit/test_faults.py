@@ -7,6 +7,7 @@ import pytest
 from repro.core import OneShotReplica
 from repro.faults import (
     BEHAVIOURS,
+    Fault,
     FaultPlan,
     every_kth_view,
     force_catchup_cls,
@@ -23,6 +24,7 @@ def test_behaviour_registry_complete():
         "slow",
         "withhold",
         "equivocate",
+        "restart",
         "garbage",
     }
 
@@ -45,6 +47,39 @@ def test_make_byzantine_window_and_attrs():
 def test_make_byzantine_unknown_behaviour():
     with pytest.raises(KeyError):
         make_byzantine(OneShotReplica, "teleport")
+
+
+def test_make_byzantine_rejects_inverted_window():
+    with pytest.raises(ValueError):
+        make_byzantine(OneShotReplica, "crashed", fault_start=2.0, fault_end=1.0)
+
+
+def test_fault_rejects_inverted_window():
+    with pytest.raises(ValueError):
+        Fault(pid=0, behaviour="crashed", start=2.0, end=1.0)
+    with pytest.raises(ValueError):
+        FaultPlan().add(0, "crashed", start=5.0, end=1.0)
+
+
+def test_fault_empty_window_is_legal_and_inert():
+    """start == end is a valid degenerate window that never activates."""
+    fault = Fault(pid=0, behaviour="crashed", start=1.0, end=1.0)
+    assert fault.start == fault.end
+    cls = make_byzantine(OneShotReplica, "crashed", fault_start=1.0, fault_end=1.0)
+
+    class Probe:
+        fault_start = cls.fault_start
+        fault_end = cls.fault_end
+
+        class sim:
+            now = 1.0
+
+    # [start, end) with start == end contains nothing — not even start.
+    from repro.faults import ByzantineMixin
+
+    for t in (0.0, 1.0, 2.0):
+        Probe.sim.now = t
+        assert not ByzantineMixin._faulty_now(Probe)
 
 
 def test_fault_plan_factory_targets_only_assigned_pids():

@@ -48,7 +48,15 @@ HOME_LAYERS: dict[str, tuple[str, ...]] = {
     # Aggregated open-loop load engine: arrival times and client marks
     # drawn from "workload.region<k>.arrivals" feed slab construction
     # (repro/workload) and ride into the smr/net layers as payloads.
-    "workload": ("repro/workload/", "repro/smr/", "repro/net/", "repro/sim/"),
+    # The sharded pump (repro/shard) draws its own
+    # "workload.shard-region<k>.arrivals" streams and routes the slabs.
+    "workload": (
+        "repro/workload/",
+        "repro/smr/",
+        "repro/net/",
+        "repro/sim/",
+        "repro/shard/",
+    ),
     # Seeded latency reservoir: "metrics.reservoir" draws stay inside
     # the (observer) metrics layer by construction.
     "metrics": ("repro/metrics/", "repro/sim/"),

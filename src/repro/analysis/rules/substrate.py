@@ -30,11 +30,15 @@ from .base import ProjectRule
 if TYPE_CHECKING:
     from ..callgraph import ProjectIndex
 
-#: Path prefixes that make up the protocol layer.
+#: Path prefixes that make up the protocol layer.  The sharding layer
+#: (router, 2PC coordinator, rebalancer, pump) is protocol code too:
+#: its run *driver* lives in repro/experiments/shard.py, so everything
+#: under repro/shard must stay inside the declared substrate surface.
 PROTOCOL_PATHS: tuple[str, ...] = (
     "repro/protocols/",
     "repro/core/",
     "repro/smr/",
+    "repro/shard/",
 )
 
 #: Substrate class qualname -> attribute names the protocol layer may

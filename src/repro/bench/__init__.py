@@ -32,6 +32,7 @@ from .fuzz import run_fuzz_bench
 from .kernel import run_kernel_bench
 from .lint import run_lint_bench
 from .net import run_net_bench
+from .shard import run_shard_bench
 from .workload import run_workload_bench
 
 
@@ -60,6 +61,7 @@ SUITES: dict[str, BenchSuite] = {
     "lint": BenchSuite("lint", run_lint_bench),
     "workload": BenchSuite("workload", run_workload_bench, kernel_aware=True),
     "fuzz": BenchSuite("fuzz", run_fuzz_bench, kernel_aware=True),
+    "shard": BenchSuite("shard", run_shard_bench, kernel_aware=True),
 }
 
 
@@ -103,4 +105,5 @@ __all__ = [
     "run_kernel_bench",
     "run_lint_bench",
     "run_net_bench",
+    "run_shard_bench",
 ]

@@ -1,0 +1,125 @@
+"""Sharded-consensus benchmarks: the ISSUE-10 scaling and 2PC gates.
+
+Unlike the wall-clock tiers, every number here is *simulated-time*
+deterministic (committed tx/s over simulated seconds), so the metrics
+are noise-free and the regression tolerance only guards against real
+behavioural drift:
+
+* ``aggregate_committed_tps_k1`` / ``aggregate_committed_tps_k8`` —
+  aggregate committed tx/s under weak scaling (offered load grows with
+  the shard count);
+* ``shard_scaling_x`` — the k=8 over k=1 ratio, with
+  ``shard_scaling_gate`` = 1.0 iff it meets the ≥3x acceptance bar;
+* ``cross_shard_overhead_ratio`` — mean 2PC decision latency over mean
+  single-shard commit latency on a k=2 run with cross traffic (pinned;
+  lower is better);
+* ``cross_atomicity_ok`` — 1.0 iff the atomicity oracle passes on the
+  cross-shard run;
+* ``shard_replay_determinism`` — 1.0 iff two same-seed cross-shard
+  runs (2PC, rebalancing-eligible routing, coordinator scheduling)
+  produce identical fingerprints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..experiments.config import ExperimentConfig
+from ..experiments.shard import run_shard_scaling, run_sharded
+from ..sim import DEFAULT_KERNEL
+from .harness import BenchMetric, BenchReport
+
+#: The ISSUE-10 acceptance bar for k=1 → k=8 aggregate scaling.
+SCALING_GATE_X = 3.0
+
+
+def _base_config(
+    quick: bool, kernel: str, seed: int = 7
+) -> ExperimentConfig:
+    # ``quick`` shrinks only the simulated span: offered rates stay the
+    # same so the committed-tx/s metrics remain comparable against the
+    # full-mode baseline (a shorter run just has a larger warm-up
+    # fraction, well inside the regression tolerance).
+    return ExperimentConfig(
+        protocol="oneshot",
+        f=1,
+        deployment="local",
+        local_latency_s=0.002,
+        max_sim_time=1.5 if quick else 3.0,
+        seed=seed,
+        kernel=kernel,
+        workload="open",
+        offered_tps=1_500.0,
+        virtual_clients=4_000,
+        shard_slots=32,
+    )
+
+
+def bench_shard_scaling(
+    quick: bool = False, kernel: str = DEFAULT_KERNEL
+) -> list[BenchMetric]:
+    """Weak-scaling k=1 vs k=8 aggregate committed throughput."""
+    scaling = run_shard_scaling(ks=(1, 8), config=_base_config(quick, kernel))
+    tps_1 = scaling.runs[1].aggregate_tps
+    tps_8 = scaling.runs[8].aggregate_tps
+    x = scaling.scaling_x()
+    return [
+        BenchMetric("aggregate_committed_tps_k1", tps_1, "txs/s"),
+        BenchMetric("aggregate_committed_tps_k8", tps_8, "txs/s"),
+        BenchMetric("shard_scaling_x", x, "ratio"),
+        BenchMetric(
+            "shard_scaling_gate",
+            1.0 if x >= SCALING_GATE_X else 0.0,
+            "bool",
+        ),
+    ]
+
+
+def bench_cross_shard(
+    quick: bool = False, kernel: str = DEFAULT_KERNEL
+) -> list[BenchMetric]:
+    """2PC overhead, atomicity and replay identity on a k=2 cross run."""
+    cfg = dataclasses.replace(
+        _base_config(quick, kernel), shards=2, cross_shard_permille=150
+    )
+    run_a = run_sharded(cfg)
+    run_b = run_sharded(cfg)
+    deterministic = (
+        run_a.fingerprint is not None
+        and run_b.fingerprint is not None
+        and run_a.fingerprint.digest() == run_b.fingerprint.digest()
+    )
+    return [
+        BenchMetric(
+            "cross_shard_overhead_ratio",
+            run_a.cross_overhead_ratio,
+            "ratio",
+            higher_is_better=False,
+        ),
+        BenchMetric(
+            "cross_atomicity_ok", 1.0 if run_a.atomicity.ok else 0.0, "bool"
+        ),
+        BenchMetric(
+            "shard_replay_determinism", 1.0 if deterministic else 0.0, "bool"
+        ),
+    ]
+
+
+def run_shard_bench(
+    quick: bool = False, kernel: str = DEFAULT_KERNEL
+) -> BenchReport:
+    """Run the shard tier (``oneshot-repro bench --suite shard``)."""
+    report = BenchReport(name="shard")
+    for m in bench_shard_scaling(quick, kernel):
+        report.add(m)
+    for m in bench_cross_shard(quick, kernel):
+        report.add(m)
+    return report
+
+
+__all__ = [
+    "SCALING_GATE_X",
+    "bench_cross_shard",
+    "bench_shard_scaling",
+    "run_shard_bench",
+]

@@ -24,6 +24,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
@@ -137,6 +138,51 @@ def _cmd_parallel(args: argparse.Namespace) -> int:
     scaling = run_parallel_scaling(ks=tuple(args.k), seed=args.seed)
     print(render_parallel(scaling))
     return 0
+
+
+def _shard_config(args: argparse.Namespace, k: int) -> ExperimentConfig:
+    return ExperimentConfig(
+        protocol=args.protocol,
+        f=args.f,
+        deployment=args.deployment,
+        local_latency_s=args.latency,
+        max_sim_time=args.time,
+        seed=args.seed,
+        kernel=args.kernel,
+        workload="open",
+        offered_tps=args.offered_tps,
+        virtual_clients=args.clients,
+        shards=k,
+        cross_shard_permille=args.cross,
+        hot_key_permille=args.hot,
+        shard_epoch_s=args.epoch,
+        shard_slots=args.slots,
+    )
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from .experiments import render_shard, run_shard_scaling, run_sharded
+
+    if args.shard_command == "run":
+        run = run_sharded(_shard_config(args, args.k))
+        print(run.describe())
+        for m in run.pump.migrations:
+            print(
+                f"  epoch {m.epoch} @ {m.at_time:.2f}s: moved "
+                f"{len(m.moved_slots)} slots, imbalance "
+                f"{m.imbalance_before:.2f} -> {m.imbalance_after:.2f}"
+            )
+        print(f"fingerprint: {run.fingerprint.digest()}")
+        return 0 if run.atomicity.ok else 1
+    # sweep
+    scaling = run_shard_scaling(
+        ks=tuple(args.k), config=_shard_config(args, 1)
+    )
+    print(render_shard(scaling))
+    print(f"scaling k={min(scaling.runs)} -> k={max(scaling.runs)}: "
+          f"{scaling.scaling_x():.2f}x")
+    bad = [k for k, r in scaling.runs.items() if not r.atomicity.ok]
+    return 0 if not bad else 1
 
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
@@ -323,6 +369,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         findings = 0
         for seed in range(args.start_seed, args.start_seed + args.seeds):
             scenario = generate_scenario(seed, cfg)
+            if args.no_view_sync:
+                scenario = dataclasses.replace(scenario, view_sync=False)
             result = run_scenario(scenario)
             if result.ok:
                 if args.verbose:
@@ -573,6 +621,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=9)
     p.set_defaults(func=_cmd_parallel)
 
+    p = sub.add_parser(
+        "shard", help="sharded consensus: routed keyspace, 2PC, rebalancing"
+    )
+    shard_sub = p.add_subparsers(dest="shard_command", required=True)
+
+    def _shard_args(ps: argparse.ArgumentParser) -> None:
+        ps.add_argument(
+            "--protocol",
+            default="oneshot",
+            choices=["oneshot", "oneshot-chained", "damysus", "hotstuff"],
+        )
+        ps.add_argument("--f", type=int, default=1)
+        ps.add_argument(
+            "--deployment",
+            default="local",
+            choices=["eu", "us", "world", "local"],
+        )
+        ps.add_argument(
+            "--latency",
+            type=float,
+            default=0.002,
+            help="per-hop latency in the local deployment (s)",
+        )
+        ps.add_argument(
+            "--kernel", default=DEFAULT_KERNEL, choices=list(available_kernels())
+        )
+        ps.add_argument(
+            "--time", type=float, default=4.0, help="simulated seconds"
+        )
+        ps.add_argument("--seed", type=int, default=7)
+        ps.add_argument(
+            "--offered-tps",
+            type=float,
+            default=2_000.0,
+            help="offered load per shard-sweep base (tx/s)",
+        )
+        ps.add_argument("--clients", type=int, default=10_000)
+        ps.add_argument(
+            "--cross",
+            type=int,
+            default=100,
+            help="cross-shard transactions, permille",
+        )
+        ps.add_argument(
+            "--hot",
+            type=int,
+            default=0,
+            help="clients collapsed onto one hot key, permille",
+        )
+        ps.add_argument(
+            "--epoch",
+            type=float,
+            default=0.0,
+            help="routing epoch length (s); 0 disables rebalancing",
+        )
+        ps.add_argument("--slots", type=int, default=64)
+
+    ps = shard_sub.add_parser("run", help="one sharded run")
+    _shard_args(ps)
+    ps.add_argument("--k", type=int, default=2, help="shard count")
+    ps.set_defaults(func=_cmd_shard)
+
+    ps = shard_sub.add_parser("sweep", help="weak-scaling shard sweep")
+    _shard_args(ps)
+    ps.add_argument("--k", type=int, nargs="+", default=[1, 2, 4, 8])
+    ps.set_defaults(func=_cmd_shard)
+
     p = sub.add_parser("timeline", help="message-flow timeline of a run")
     p.add_argument(
         "--protocol",
@@ -688,6 +803,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrinking budget (scenario executions) per finding",
     )
     pf.add_argument("--verbose", action="store_true", help="print passing seeds too")
+    pf.add_argument(
+        "--no-view-sync",
+        action="store_true",
+        help="run scenarios with the historical pacemaker (no view "
+        "synchronizer) — reproduces the HotStuff view-split livelock",
+    )
     pf.set_defaults(func=_cmd_fuzz)
 
     pf = fuzz_sub.add_parser(

@@ -31,6 +31,13 @@ from .parallel import (
     run_parallel_scaling,
 )
 from .runner import RunResult, run_experiment
+from .shard import (
+    ShardRun,
+    ShardScaling,
+    render_shard,
+    run_shard_scaling,
+    run_sharded,
+)
 from .sweep import (
     SweepOutcome,
     SweepTask,
@@ -78,6 +85,11 @@ __all__ = [
     "run_parallel_scaling",
     "RunResult",
     "run_experiment",
+    "ShardRun",
+    "ShardScaling",
+    "render_shard",
+    "run_shard_scaling",
+    "run_sharded",
     "SweepOutcome",
     "SweepTask",
     "outcomes_to_json",

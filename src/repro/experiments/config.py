@@ -54,6 +54,23 @@ class ExperimentConfig:
     #: Use the O(1)-memory streaming metrics collector (quantiles become
     #: P² estimates; mandatory for very long open-loop runs).
     streaming_metrics: bool = False
+    #: Highest-view gossip on timeout (minimal view synchronizer); off
+    #: reproduces the historical pacemaker with the HotStuff view-split
+    #: livelock (docs/fuzzing.md).
+    view_sync: bool = True
+    #: Shards (independent consensus groups over one keyspace) — 1
+    #: means unsharded; >1 is consumed by :mod:`repro.experiments.shard`.
+    shards: int = 1
+    #: Fraction of transactions touching a second shard, in permille.
+    cross_shard_permille: int = 0
+    #: Routing-table epoch length (seconds); rebalancing happens at
+    #: epoch boundaries.  0 disables rebalancing.
+    shard_epoch_s: float = 0.0
+    #: Fraction of client ids collapsed onto one hot key, in permille
+    #: (skews load to exercise rebalancing).
+    hot_key_permille: int = 0
+    #: Routing slots (key ranges) in the shard routing table.
+    shard_slots: int = 64
 
     def describe(self) -> str:
         return (

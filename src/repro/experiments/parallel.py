@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 
 from ..metrics import MetricsCollector, compute_stats, render_table
 from ..net import Network
-from ..protocols.common import Cluster, ProtocolConfig, build_cluster
+from ..protocols.common import Cluster, LeaderMap, ProtocolConfig, build_cluster
 from ..protocols.registry import get_protocol
 from ..sim import Cpu, Nic, Simulator
 from .config import ExperimentConfig
@@ -44,13 +44,11 @@ class ParallelRun:
 
 def _offset_leader(cluster: Cluster, offset: int) -> None:
     """Stagger leader rotation so instance leaders spread over machines."""
-    n = cluster.config.n
-    for replica in cluster.replicas:
-        replica.leader_of = (lambda off: lambda view: (view + off) % n)(offset)
-        # The CHECKER validates proposer identity with the same map.
-        checker = getattr(replica, "checker", None)
-        if checker is not None and hasattr(checker, "rebind_leader_map"):
-            checker.rebind_leader_map(replica.leader_of)
+    # The CHECKER validates proposer identity with the same map; the
+    # LeaderMap binds both sides (replica election + TEE rebind).
+    LeaderMap(n=cluster.config.n, offset=offset % cluster.config.n).bind_cluster(
+        cluster
+    )
 
 
 def run_parallel(

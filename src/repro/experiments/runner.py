@@ -79,7 +79,12 @@ def run_experiment(
     )
     if enable_message_log:
         network.enable_log()
-    proto_cfg = ProtocolConfig(n=n, f=config.f, timeout_base=config.timeout_base)
+    proto_cfg = ProtocolConfig(
+        n=n,
+        f=config.f,
+        timeout_base=config.timeout_base,
+        view_sync=config.view_sync,
+    )
     collector = None
     if config.streaming_metrics:
         # Streaming mode trims warm-up inside the collector (a stream

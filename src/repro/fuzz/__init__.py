@@ -25,8 +25,23 @@ from .corpus import (
 )
 from .generator import DEFAULT_CONFIG, FuzzConfig, generate_scenario
 from .harness import FuzzResult, run_scenario
-from .oracles import CRASH, LIVENESS, SAFETY, OracleReport, check_safety, judge
-from .scenario import AdaptiveSpec, DegradeSpec, FaultSpec, IsolateSpec, Scenario
+from .oracles import (
+    CRASH,
+    LIVENESS,
+    SAFETY,
+    OracleReport,
+    check_safety,
+    judge,
+    judge_sharded,
+)
+from .scenario import (
+    AdaptiveSpec,
+    DegradeSpec,
+    FaultSpec,
+    IsolateSpec,
+    Scenario,
+    ShardSpec,
+)
 from .shrinker import ShrinkOutcome, shrink
 
 __all__ = [
@@ -50,11 +65,13 @@ __all__ = [
     "OracleReport",
     "check_safety",
     "judge",
+    "judge_sharded",
     "AdaptiveSpec",
     "DegradeSpec",
     "FaultSpec",
     "IsolateSpec",
     "Scenario",
+    "ShardSpec",
     "ShrinkOutcome",
     "shrink",
 ]

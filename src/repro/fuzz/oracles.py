@@ -98,4 +98,42 @@ def judge(
     )
 
 
-__all__ = ["OracleReport", "check_safety", "judge", "SAFETY", "CRASH", "LIVENESS"]
+def judge_sharded(
+    scenario: Scenario,
+    shard_clusters: list[Cluster],
+    crashed: Optional[str] = None,
+) -> OracleReport:
+    """Joint verdict over a sharded run.
+
+    Per-shard safety (equivocation + prefix agreement) plus the
+    cross-shard atomicity oracle — a partial multi-key commit is a
+    *safety* failure (it is disagreement about committed state, exactly
+    what shrinking should chase).  Liveness requires every shard's
+    reference replica to reach the target block count.
+    """
+    from ..shard import check_atomicity
+
+    problems: list[str] = []
+    for shard, cluster in enumerate(shard_clusters):
+        problems += [f"shard {shard}: {p}" for p in check_safety(cluster)]
+    problems += check_atomicity(shard_clusters).violations
+    blocks = min(
+        len(c.replicas[scenario.reference_pid].log) for c in shard_clusters
+    )
+    return OracleReport(
+        safety_problems=tuple(problems),
+        blocks_decided=blocks,
+        target_blocks=scenario.target_blocks,
+        crashed=crashed,
+    )
+
+
+__all__ = [
+    "OracleReport",
+    "check_safety",
+    "judge",
+    "judge_sharded",
+    "SAFETY",
+    "CRASH",
+    "LIVENESS",
+]

@@ -82,6 +82,36 @@ class AdaptiveSpec:
 
 
 @dataclass(frozen=True)
+class ShardSpec:
+    """Sharded run: ``k`` consensus groups over one keyspace with
+    cross-shard 2PC traffic, judged by the cross-shard atomicity oracle
+    in addition to the per-shard safety oracles.
+
+    ``decision_delay_s`` adds delay to the 2PC coordinator's traffic
+    (prepare submissions and commit/abort decisions) during
+    ``[delay_start, delay_end)`` — the adversarial knob aimed straight
+    at the window between prepare and decision, where a partial apply
+    would have to happen if the 2PC layering were broken.
+    """
+
+    k: int = 2
+    cross_permille: int = 100
+    offered_tps: float = 2000.0
+    epoch_s: float = 0.0
+    hot_permille: int = 0
+    slots: int = 16
+    decision_delay_s: float = 0.0
+    delay_start: float = 0.0
+    delay_end: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("shard spec needs k >= 1")
+        if self.delay_end < self.delay_start:
+            raise ValueError("decision-delay window inverted")
+
+
+@dataclass(frozen=True)
 class Scenario:
     """One fully-specified adversarial run."""
 
@@ -101,6 +131,12 @@ class Scenario:
     degrades: tuple[DegradeSpec, ...] = ()
     isolates: tuple[IsolateSpec, ...] = ()
     adaptive: Optional[AdaptiveSpec] = None
+    #: Highest-view gossip on timeout; False reproduces the historical
+    #: pacemaker (and the pinned HotStuff view-split livelock).
+    view_sync: bool = True
+    #: When set, the run is sharded (see :class:`ShardSpec`) and the
+    #: cross-shard atomicity oracle joins the judgement.
+    shard: Optional[ShardSpec] = None
 
     # ------------------------------------------------------------------
     # Derived views
@@ -122,9 +158,21 @@ class Scenario:
         ends += [i.end + i.delay_s for i in self.isolates]
         if self.adaptive is not None:
             ends.append(self.adaptive.end)
+        if self.shard is not None:
+            ends.append(self.shard.delay_end + self.shard.decision_delay_s)
         return max(ends)
 
     def to_experiment_config(self) -> ExperimentConfig:
+        shard_kw: dict[str, Any] = {}
+        if self.shard is not None:
+            shard_kw = dict(
+                shards=self.shard.k,
+                cross_shard_permille=self.shard.cross_permille,
+                offered_tps=self.shard.offered_tps,
+                shard_epoch_s=self.shard.epoch_s,
+                hot_key_permille=self.shard.hot_permille,
+                shard_slots=self.shard.slots,
+            )
         return ExperimentConfig(
             protocol=self.protocol,
             f=self.f,
@@ -137,6 +185,8 @@ class Scenario:
             gst=self.gst,
             pre_gst_extra=self.pre_gst_extra,
             warmup_blocks=0,
+            view_sync=self.view_sync,
+            **shard_kw,
         )
 
     def fault_plan(self) -> FaultPlan:
@@ -152,7 +202,7 @@ class Scenario:
         d: dict[str, Any] = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("faults", "degrades", "isolates", "adaptive")
+            if f.name not in ("faults", "degrades", "isolates", "adaptive", "shard")
         }
         d["faults"] = [
             {
@@ -178,6 +228,11 @@ class Scenario:
             None
             if self.adaptive is None
             else {f.name: getattr(self.adaptive, f.name) for f in fields(AdaptiveSpec)}
+        )
+        d["shard"] = (
+            None
+            if self.shard is None
+            else {f.name: getattr(self.shard, f.name) for f in fields(ShardSpec)}
         )
         return d
 
@@ -208,6 +263,8 @@ class Scenario:
         )
         adaptive = d.get("adaptive")
         d["adaptive"] = None if adaptive is None else AdaptiveSpec(**adaptive)
+        shard = d.get("shard")
+        d["shard"] = None if shard is None else ShardSpec(**shard)
         known = {f.name for f in fields(cls)}
         unknown = set(d) - known
         if unknown:
@@ -224,7 +281,21 @@ class Scenario:
             bits.append(f"{len(self.isolates)} partition(s)")
         if self.adaptive is not None:
             bits.append("adaptive")
+        if not self.view_sync:
+            bits.append("no-view-sync")
+        if self.shard is not None:
+            bits.append(
+                f"shard k={self.shard.k} "
+                f"cross={self.shard.cross_permille / 10:.0f}%"
+            )
         return " ".join(bits)
 
 
-__all__ = ["FaultSpec", "DegradeSpec", "IsolateSpec", "AdaptiveSpec", "Scenario"]
+__all__ = [
+    "FaultSpec",
+    "DegradeSpec",
+    "IsolateSpec",
+    "AdaptiveSpec",
+    "ShardSpec",
+    "Scenario",
+]

@@ -4,14 +4,17 @@ tracking, the replica base class, and cluster assembly."""
 from .base import BaseReplica
 from .cluster import Cluster, build_cluster
 from .config import ProtocolConfig
-from .pacemaker import Pacemaker
+from .leadermap import LeaderMap
+from .pacemaker import Pacemaker, ViewSyncMsg
 from .quorum import QuorumTracker
 
 __all__ = [
     "BaseReplica",
     "Cluster",
     "build_cluster",
+    "LeaderMap",
     "ProtocolConfig",
     "Pacemaker",
     "QuorumTracker",
+    "ViewSyncMsg",
 ]

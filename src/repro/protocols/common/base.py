@@ -29,7 +29,7 @@ from ...smr import (
 )
 from ...tee import Credentials
 from .config import ProtocolConfig
-from .pacemaker import Pacemaker
+from .pacemaker import Pacemaker, ViewSyncMsg
 
 
 class BaseReplica(Process):
@@ -74,6 +74,8 @@ class BaseReplica(Process):
         self._handlers: dict[Type, Callable[[int, Any], None]] = {}
         #: hash -> (exec kind, triggering certificate) awaiting ancestors.
         self._pending_commits: dict[Digest, tuple[str, Any]] = {}
+        if config.view_sync:
+            self.register_handler(ViewSyncMsg, self._on_view_sync)
         network.register(self)
 
     # ------------------------------------------------------------------
@@ -171,6 +173,30 @@ class BaseReplica(Process):
         self.collector.on_view_outcome(self.pid, self.view, "timeout", self.sim.now)
         self.pacemaker.on_timeout()
         self.on_timeout()
+        if self.config.view_sync:
+            # Gossip the post-timeout view so cohorts that timed out of
+            # different views converge instead of livelocking (see
+            # pacemaker.ViewSyncMsg).  Sent after on_timeout: the
+            # protocol hook has already advanced self.view.
+            self.broadcast_at(
+                self.sim.now, ViewSyncMsg(self.view), include_self=False
+            )
+
+    def _on_view_sync(self, sender: int, msg: ViewSyncMsg) -> None:
+        """Fast-forward toward a strictly higher gossiped view.
+
+        Acts as if this replica's own view timer had fired early: the
+        protocol's timeout hook runs so the replica contributes its
+        new-view material (OneShot only sends its store certificate on
+        the timeout path), then any remaining multi-view gap is jumped
+        directly.  The pacemaker backoff is *not* inflated — this is
+        synchronization, not a failed view.
+        """
+        if msg.view <= self.view:
+            return
+        self.on_timeout()
+        if msg.view > self.view:
+            self.enter_view(msg.view)
 
     def stop(self) -> None:
         self.stopped = True

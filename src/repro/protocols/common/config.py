@@ -31,6 +31,10 @@ class ProtocolConfig:
     handler_overhead: float = 5e-6
     #: Whether replicas send Reply messages to registered clients.
     reply_to_clients: bool = True
+    #: Highest-view gossip on timeout (the minimal view synchronizer).
+    #: Off reproduces the historical pacemaker, which the fuzzer showed
+    #: can livelock HotStuff under a view split (docs/fuzzing.md).
+    view_sync: bool = True
 
     @property
     def quorum(self) -> int:

@@ -4,9 +4,32 @@ As in HotStuff (and inherited by Damysus/OneShot), replicas give each
 view a timeout that doubles after every consecutive failed view and
 resets on a decision.  After GST this guarantees some view lasts long
 enough for a correct leader to drive a decision (Lemma 2).
+
+``ViewSyncMsg`` is the minimal view synchronizer the fuzzer proved
+necessary: without it, a network split that lets two cohorts time out
+of different views at different rates can livelock Basic HotStuff —
+each cohort keeps collecting n-f new-view messages for a view the
+other cohort has already abandoned (pinned corpus entry
+``hotstuff-view-split-liveness``).  On every view timeout a replica
+gossips its (new) highest view; any peer strictly behind jumps
+forward.  View numbers are not safety-critical in any of the three
+protocols (safety lives in locks, QCs and the TEE monotonic counters),
+so fast-forwarding views can only help liveness, never violate safety.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ViewSyncMsg:
+    """Highest-view gossip, broadcast after a view timeout."""
+
+    view: int  # the sender's view *after* acting on the timeout
+
+    def wire_size(self) -> int:
+        return 12
 
 
 class Pacemaker:
@@ -39,4 +62,4 @@ class Pacemaker:
         self.consecutive_failures = 0
 
 
-__all__ = ["Pacemaker"]
+__all__ = ["Pacemaker", "ViewSyncMsg"]

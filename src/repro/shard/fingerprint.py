@@ -1,0 +1,96 @@
+"""Replay-identity fingerprints for sharded runs.
+
+A sharded run is deterministic end-to-end (seeded arrivals, hash
+routing, consensus, 2PC scheduling, rebalancing); the fingerprint
+pins everything that could drift: each shard's committed chain and
+application state, the full routing-table history (so a rebalance at a
+different time or with a different repack changes the digest), the
+coordinator's decision log, and the final simulated clock.  Golden
+tests pin ``digest()`` — byte-identical replay or loud failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..crypto import digest_of
+
+
+@dataclass(frozen=True)
+class ShardFingerprint:
+    """Semantic digest of one sharded run."""
+
+    protocol: str
+    seed: int
+    shards: int
+    #: Per-shard committed-chain digest (reference replica).
+    chain_digests: tuple[str, ...]
+    #: Per-shard application state digest.
+    state_digests: tuple[str, ...]
+    #: Routing-table history digests, epoch order.
+    table_digests: tuple[str, ...]
+    #: Coordinator (xid, outcome, decision_time) records, decision order.
+    decisions: tuple[tuple[int, str, float], ...]
+    end_time: float
+
+    def digest(self) -> str:
+        # Times are folded as integer nanoseconds — the canonical
+        # encoder rejects floats by design (no ambiguous repr).
+        decisions = tuple(
+            (xid, outcome, int(round(t * 1e9)))
+            for xid, outcome, t in self.decisions
+        )
+        return digest_of(
+            "shard-run",
+            (
+                self.protocol,
+                self.seed,
+                self.shards,
+                self.chain_digests,
+                self.state_digests,
+                self.table_digests,
+                decisions,
+                int(round(self.end_time * 1e9)),
+            ),
+        ).hex()
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol} k={self.shards} epochs={len(self.table_digests)} "
+            f"decisions={len(self.decisions)} digest={self.digest()[:12]}"
+        )
+
+
+def fingerprint_shards(
+    protocol: str,
+    seed: int,
+    shard_clusters,
+    router,
+    coordinator,
+    end_time: float,
+    reference_pid: int = 0,
+) -> ShardFingerprint:
+    """Build the fingerprint from a finished run's live objects."""
+    chains = []
+    states = []
+    for cluster in shard_clusters:
+        ref = cluster.replicas[reference_pid]
+        chains.append(ref.log.log_digest().hex())
+        states.append(ref.log.state.state_digest().hex())
+    tables = tuple(t.table_digest().hex() for t in router.history)
+    decisions = (
+        tuple(coordinator.decision_log) if coordinator is not None else ()
+    )
+    return ShardFingerprint(
+        protocol=protocol,
+        seed=seed,
+        shards=len(shard_clusters),
+        chain_digests=tuple(chains),
+        state_digests=tuple(states),
+        table_digests=tables,
+        decisions=decisions,
+        end_time=end_time,
+    )
+
+
+__all__ = ["ShardFingerprint", "fingerprint_shards"]

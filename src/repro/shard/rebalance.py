@@ -1,0 +1,129 @@
+"""Hot-key rebalancing: epoch-boundary slot migration under load skew.
+
+The :class:`LoadMonitor` accumulates per-slot offered load as the
+router partitions slabs (exact integer counters — the monitor draws no
+RNG, so observing load can never perturb a run) plus streaming
+P²/moment sketches of the per-slab shard imbalance for reporting.  At
+each epoch boundary the :class:`Rebalancer` checks the realized
+per-shard load ratio; past the threshold it repacks slots onto shards
+with an LPT (longest-processing-time-first) greedy pass — determinstic
+tie-breaking on slot id — and the router publishes the new table as
+the next epoch.
+
+In-flight transactions drain deterministically through a migration:
+single-shard rows are routed by the table in force when their slab is
+partitioned, and cross-shard transactions record their touched-shard
+set at prepare time, so a later epoch change never re-routes a
+decision.  There is no transfer of application state between shards —
+a migrated slot's *new* transactions go to the new shard while the old
+shard keeps the history it already committed (the per-shard chains are
+the system of record; the oracle checks them jointly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.streaming import P2Quantile, StreamingMoments
+from .router import RoutingTable
+
+#: Rebalance only past this max/mean per-shard load ratio.
+DEFAULT_IMBALANCE_THRESHOLD = 1.25
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One published rebalance: which slots moved at which epoch."""
+
+    epoch: int
+    at_time: float
+    moved_slots: tuple[int, ...]
+    imbalance_before: float
+    imbalance_after: float
+
+
+class LoadMonitor:
+    """Streaming per-slot/per-shard offered-load accounting."""
+
+    def __init__(self, slots: int, n_shards: int) -> None:
+        self.slot_counts = np.zeros(slots, dtype=np.int64)
+        self.n_shards = n_shards
+        self.total_rows = 0
+        #: P² sketch of the per-slab max/mean shard imbalance and
+        #: moments of per-slab row counts (reporting only).
+        self.imbalance_p95 = P2Quantile(0.95)
+        self.slab_rows = StreamingMoments()
+
+    def record(self, slots: np.ndarray, home_shards: np.ndarray) -> None:
+        """Fold one routed slab into the counters."""
+        np.add.at(self.slot_counts, slots, 1)
+        self.total_rows += len(slots)
+        self.slab_rows.add(float(len(slots)))
+        if len(slots):
+            per_shard = np.bincount(home_shards, minlength=self.n_shards)
+            mean = per_shard.mean()
+            if mean > 0:
+                self.imbalance_p95.add(float(per_shard.max() / mean))
+
+    def shard_loads(self, table: RoutingTable) -> np.ndarray:
+        """Accumulated per-shard load under ``table``."""
+        loads = np.zeros(self.n_shards, dtype=np.int64)
+        np.add.at(loads, table.as_array(), self.slot_counts)
+        return loads
+
+    def imbalance(self, table: RoutingTable) -> float:
+        loads = self.shard_loads(table)
+        mean = loads.mean()
+        return float(loads.max() / mean) if mean > 0 else 1.0
+
+    def reset_epoch(self) -> None:
+        """Start the next epoch's window (counters are per-epoch)."""
+        self.slot_counts[:] = 0
+        self.total_rows = 0
+
+
+class Rebalancer:
+    """LPT greedy slot repacking, gated on realized imbalance."""
+
+    def __init__(self, threshold: float = DEFAULT_IMBALANCE_THRESHOLD) -> None:
+        if threshold < 1.0:
+            raise ValueError("imbalance threshold must be >= 1")
+        self.threshold = threshold
+
+    def plan(
+        self, monitor: LoadMonitor, table: RoutingTable
+    ) -> tuple[tuple[int, ...], float, float] | None:
+        """A new slot→shard map, or None if balanced enough.
+
+        Returns ``(slot_to_shard, imbalance_before, imbalance_after)``.
+        LPT: place slots heaviest-first onto the currently least-loaded
+        shard; ties break on lowest shard id, slots of equal weight on
+        lowest slot id — fully deterministic.  Only adopted if it
+        strictly improves the realized imbalance.
+        """
+        before = monitor.imbalance(table)
+        if before <= self.threshold or monitor.total_rows == 0:
+            return None
+        counts = monitor.slot_counts
+        order = sorted(range(table.slots), key=lambda s: (-int(counts[s]), s))
+        loads = [0] * monitor.n_shards
+        assign = list(table.slot_to_shard)
+        for slot in order:
+            shard = min(range(monitor.n_shards), key=lambda k: (loads[k], k))
+            assign[slot] = shard
+            loads[shard] += int(counts[slot])
+        candidate = RoutingTable(epoch=table.epoch + 1, slot_to_shard=tuple(assign))
+        after = monitor.imbalance(candidate)
+        if after >= before:
+            return None
+        return tuple(assign), before, after
+
+
+__all__ = [
+    "DEFAULT_IMBALANCE_THRESHOLD",
+    "LoadMonitor",
+    "Migration",
+    "Rebalancer",
+]

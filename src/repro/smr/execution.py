@@ -23,11 +23,35 @@ class KVStore:
     * ``("set", key, value)``
     * ``("del", key)``
     * ``("add", key, delta)`` — integer accumulate, missing keys are 0
+
+    Cross-shard 2PC markers (:mod:`repro.shard`) — a multi-shard
+    transaction's local effects are *staged* by a prepare and only
+    reach the data on a commit decision, so the per-shard chain records
+    the whole 2PC history and the atomicity oracle can compare shards:
+
+    * ``("xprepare", xid, ops)`` — stage ``ops`` (a tuple of plain
+      set/del/add ops) under transaction id ``xid``
+    * ``("xcommit", xid)`` — apply the staged ops
+    * ``("xabort", xid)`` — discard them
+
+    Presumed abort: an ``xabort`` may serialize *before* the prepare on
+    a shard (the coordinator's deadline fires while the prepare is
+    still in that shard's pipeline), so an abort never requires a prior
+    prepare, and a prepare that lands after the abort records the xid
+    but stages nothing.  A commit, by contrast, is only ever sent after
+    the coordinator observed every prepare committed, so an unstaged
+    ``xcommit`` is a real protocol violation and raises.
     """
 
     def __init__(self) -> None:
         self._data: dict[str, Any] = {}
         self.ops_applied = 0
+        #: xid -> staged ops awaiting a 2PC decision.
+        self.x_staged: dict[int, tuple] = {}
+        #: Full 2PC history (never pruned; the oracle reads these).
+        self.x_prepared: set[int] = set()
+        self.x_committed: set[int] = set()
+        self.x_aborted: set[int] = set()
 
     def apply(self, op: Any) -> None:
         if op is None:
@@ -42,9 +66,35 @@ class KVStore:
         elif kind == "add":
             _, key, delta = op
             self._data[key] = int(self._data.get(key, 0)) + int(delta)
+        elif kind == "xprepare":
+            _, xid, ops = op
+            if xid in self.x_prepared:
+                raise ValueError(f"2PC tx {xid} prepared twice")
+            self.x_prepared.add(xid)
+            if xid not in self.x_aborted:  # late prepare: presumed abort
+                self.x_staged[xid] = tuple(ops)
+        elif kind == "xcommit":
+            _, xid = op
+            self._decide(xid)
+            if xid not in self.x_staged:
+                raise ValueError(f"2PC commit for unstaged tx {xid}")
+            self.x_committed.add(xid)
+            for staged in self.x_staged.pop(xid):
+                self.apply(tuple(staged))
+                self.ops_applied -= 1  # count the decision, not each leg
+        elif kind == "xabort":
+            _, xid = op
+            self._decide(xid)
+            self.x_aborted.add(xid)
+            self.x_staged.pop(xid, None)  # may precede the prepare
         else:
             raise ValueError(f"unknown operation {kind!r}")
         self.ops_applied += 1
+
+    def _decide(self, xid: int) -> None:
+        """A 2PC decision is unique per transaction id."""
+        if xid in self.x_committed or xid in self.x_aborted:
+            raise ValueError(f"2PC tx {xid} decided twice")
 
     def get(self, key: str, default: Any = None) -> Any:
         return self._data.get(key, default)
@@ -68,6 +118,14 @@ class ExecutionLog:
         self.state = state if state is not None else KVStore()
         self.txs_executed = 0
         self._exec_times: list[float] = []
+        #: Keys of op-bearing transactions already applied.  Pipelined
+        #: protocols can legitimately order one transaction into two
+        #: committed blocks (the view-(v+1) leader proposes before view
+        #: v's commit prunes its mempool), so commit-time dedup lives
+        #: here, keyed on ``(client_id, tx_id)``.  Only transactions
+        #: with a real ``op`` are tracked — the synthetic workload's
+        #: rows carry ``op is None`` and are state-machine no-ops.
+        self._applied_keys: set[tuple[int, int]] = set()
 
     def __len__(self) -> int:
         return len(self.blocks)
@@ -94,8 +152,13 @@ class ExecutionLog:
         # workload); skipping the call entirely saves 400 dispatches
         # per block without changing any state machine's behaviour.
         apply = self.state.apply
+        applied = self._applied_keys
         for tx in block.txs:
             if tx.op is not None:
+                key = (tx.client_id, tx.tx_id)
+                if key in applied:
+                    continue  # re-ordered by a pipelined leader
+                applied.add(key)
                 apply(tx.op)
         self.txs_executed += len(block.txs)
 

@@ -109,8 +109,9 @@ def test_fuzz_run_command(capsys, tmp_path):
 
 
 def test_fuzz_run_writes_minimized_repro_on_finding(capsys, tmp_path):
-    # Seed 10 is the pinned HotStuff view-split livelock: the run must
-    # exit 1, shrink the counterexample and serialize it.
+    # Seed 10 is the historical HotStuff view-split livelock.  With the
+    # view synchronizer disabled (--no-view-sync) the run must exit 1,
+    # shrink the counterexample and serialize it.
     assert (
         main(
             [
@@ -120,6 +121,7 @@ def test_fuzz_run_writes_minimized_repro_on_finding(capsys, tmp_path):
                 "1",
                 "--start-seed",
                 "10",
+                "--no-view-sync",
                 "--out",
                 str(tmp_path),
             ]
@@ -131,6 +133,18 @@ def test_fuzz_run_writes_minimized_repro_on_finding(capsys, tmp_path):
     assert "minimized" in out
     files = list(tmp_path.glob("*.json"))
     assert len(files) == 1 and files[0].name == "seed10-liveness.json"
+
+
+def test_fuzz_run_seed10_clean_with_view_sync(capsys, tmp_path):
+    # The same seed passes with the synchronizer on (the default): the
+    # highest-view gossip reunites the split cohorts.
+    assert (
+        main(
+            ["fuzz", "run", "--seeds", "1", "--start-seed", "10", "--out", str(tmp_path)]
+        )
+        == 0
+    )
+    assert not list(tmp_path.glob("*.json"))
 
 
 def test_fuzz_replay_command(capsys):
@@ -158,10 +172,16 @@ def test_fuzz_replay_flags_drift(capsys, tmp_path):
 
 
 def test_fuzz_shrink_command(capsys, tmp_path):
+    import json
     from pathlib import Path
 
+    # The committed livelock entry now passes (view synchronizer); turn
+    # the synchronizer off in a copy to get a genuinely failing repro.
     corpus = Path(__file__).parent.parent / "fuzz" / "corpus"
-    src = corpus / "hotstuff-view-split-liveness.json"
+    data = json.loads((corpus / "hotstuff-view-split-liveness.json").read_text())
+    data["scenario"]["view_sync"] = False
+    src = tmp_path / "livelock.json"
+    src.write_text(json.dumps(data))
     out_file = tmp_path / "minimized.json"
     assert (
         main(
@@ -180,3 +200,66 @@ def test_fuzz_shrink_command(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "minimized" in out
     assert out_file.exists()
+
+
+def test_shard_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["shard"])
+
+
+def test_shard_run_command(capsys):
+    assert (
+        main(
+            [
+                "shard",
+                "run",
+                "--k",
+                "2",
+                "--cross",
+                "150",
+                "--time",
+                "1.5",
+                "--offered-tps",
+                "1200",
+                "--clients",
+                "2000",
+                "--slots",
+                "16",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "k=2" in out
+    assert "2PC" in out
+    assert "atomicity ok" in out
+    assert "fingerprint: " in out
+
+
+def test_shard_sweep_command(capsys):
+    assert (
+        main(
+            [
+                "shard",
+                "sweep",
+                "--k",
+                "1",
+                "2",
+                "--cross",
+                "0",
+                "--time",
+                "1.5",
+                "--offered-tps",
+                "1200",
+                "--clients",
+                "2000",
+                "--slots",
+                "16",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "weak scaling" in out
+    assert "scaling k=1 -> k=2" in out
+    assert "VIOLATION" not in out

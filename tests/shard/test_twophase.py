@@ -1,0 +1,259 @@
+"""2PC semantics: KVStore markers, the coordinator, and the oracle."""
+
+import pytest
+
+from repro.net import Network
+from repro.shard import COORDINATOR_PID, Coordinator, check_atomicity
+from repro.sim import Process, Simulator
+from repro.smr import KVStore, Reply, SubmitTx
+
+
+# ----------------------------------------------------------------------
+# KVStore 2PC markers
+# ----------------------------------------------------------------------
+def test_prepare_then_commit_applies_staged_ops():
+    kv = KVStore()
+    kv.apply(("xprepare", 7, (("add", "acct0", -1), ("set", "flag", "on"))))
+    assert kv.get("acct0") is None  # staged, not applied
+    assert 7 in kv.x_prepared and 7 in kv.x_staged
+    kv.apply(("xcommit", 7))
+    assert kv.get("acct0") == -1
+    assert kv.get("flag") == "on"
+    assert 7 in kv.x_committed and 7 not in kv.x_staged
+    # Legs are accounted as one decision, not one op each.
+    assert kv.ops_applied == 2
+
+
+def test_abort_discards_staged_ops():
+    kv = KVStore()
+    kv.apply(("xprepare", 3, (("add", "acct1", 1),)))
+    kv.apply(("xabort", 3))
+    assert kv.get("acct1") is None
+    assert 3 in kv.x_aborted and 3 not in kv.x_staged
+
+
+def test_presumed_abort_tolerates_late_prepare():
+    kv = KVStore()
+    kv.apply(("xabort", 5))  # deadline fired before the prepare landed
+    assert 5 in kv.x_aborted
+    kv.apply(("xprepare", 5, (("add", "acct0", -1),)))
+    assert 5 in kv.x_prepared
+    assert 5 not in kv.x_staged  # the late prepare stages nothing
+    assert kv.get("acct0") is None
+
+
+def test_commit_without_prepare_raises():
+    kv = KVStore()
+    with pytest.raises(ValueError, match="unstaged"):
+        kv.apply(("xcommit", 9))
+
+
+def test_double_decision_and_double_prepare_raise():
+    kv = KVStore()
+    kv.apply(("xprepare", 1, ()))
+    kv.apply(("xcommit", 1))
+    with pytest.raises(ValueError, match="decided twice"):
+        kv.apply(("xabort", 1))
+    with pytest.raises(ValueError, match="prepared twice"):
+        kv.apply(("xprepare", 1, ()))
+
+
+# ----------------------------------------------------------------------
+# Coordinator over stub shards
+# ----------------------------------------------------------------------
+class _Replica(Process):
+    """A stub shard replica: optionally acks marker submissions and
+    applies them to a local KVStore in arrival order."""
+
+    def __init__(self, sim, network, pid, ack=True):
+        super().__init__(sim, pid, name=f"stub-{pid}")
+        self.network = network
+        self.ack = ack
+        self.kv = KVStore()
+        network.register(self)
+
+    def on_message(self, sender, payload):
+        if not isinstance(payload, SubmitTx):
+            return
+        tx = payload.tx
+        self.kv.apply(tx.op)
+        if self.ack:
+            self.network.send(
+                self.pid,
+                sender,
+                Reply(tx_key=tx.key(), view=1, replica=self.pid, certified=True),
+            )
+
+
+def _fabric(sim, ack_by_shard):
+    nets, pids, replicas = [], [], []
+    for ack in ack_by_shard:
+        net = Network(sim)
+        nets.append(net)
+        replicas.append(_Replica(sim, net, 0, ack=ack))
+        pids.append([0])
+    return nets, pids, replicas
+
+
+def test_coordinator_commits_when_both_shards_prepare():
+    sim = Simulator(seed=1)
+    nets, pids, replicas = _fabric(sim, [True, True])
+    coord = Coordinator(sim, nets, pids, f=0, certified_replies=False)
+    coord.submit_transfer(0, 1)
+    sim.run(until=5.0)
+    assert (coord.committed, coord.aborted, coord.in_flight) == (1, 0, 0)
+    assert coord.decision_log[0][:2] == (0, "commit")
+    for r in replicas:
+        assert r.kv.x_committed == {0}
+    # The transfer moved one unit home -> partner.
+    assert replicas[0].kv.get("acct0") == -1
+    assert replicas[1].kv.get("acct1") == 1
+
+
+def test_coordinator_aborts_on_prepare_timeout():
+    sim = Simulator(seed=1)
+    nets, pids, replicas = _fabric(sim, [True, False])  # shard 1 never acks
+    coord = Coordinator(
+        sim, nets, pids, f=0, certified_replies=False, prepare_timeout=0.5
+    )
+    coord.submit_transfer(0, 1)
+    sim.run(until=5.0)
+    assert (coord.committed, coord.aborted) == (0, 1)
+    assert coord.decision_log[0][:2] == (0, "abort")
+    # Both shards recorded the abort; no account moved anywhere.
+    for r in replicas:
+        assert r.kv.x_aborted == {0}
+        assert r.kv.get("acct0") is None and r.kv.get("acct1") is None
+
+
+def test_coordinator_needs_quorum_without_certified_replies():
+    sim = Simulator(seed=1)
+    nets = [Network(sim), Network(sim)]
+    replicas = [
+        [_Replica(sim, nets[s], pid, ack=(pid == 0)) for pid in range(3)]
+        for s in range(2)
+    ]
+    coord = Coordinator(
+        sim,
+        nets,
+        [[0, 1, 2], [0, 1, 2]],
+        f=1,
+        certified_replies=False,
+        prepare_timeout=0.5,
+    )
+    coord.submit_transfer(0, 1)
+    sim.run(until=5.0)
+    # A single ack per shard is below the f+1 quorum -> presumed abort.
+    assert (coord.committed, coord.aborted) == (0, 1)
+    assert replicas[0][0].kv.x_aborted == {0}
+
+
+def test_coordinator_rejects_degenerate_transfer():
+    sim = Simulator(seed=1)
+    nets, pids, _ = _fabric(sim, [True, True])
+    coord = Coordinator(sim, nets, pids, f=0, certified_replies=False)
+    with pytest.raises(ValueError):
+        coord.submit_transfer(1, 1)
+
+
+# ----------------------------------------------------------------------
+# Atomicity oracle on planted histories
+# ----------------------------------------------------------------------
+class _FakeLog:
+    def __init__(self, state, blocks=1):
+        self.state = state
+        self._blocks = blocks
+
+    def __len__(self):
+        return self._blocks
+
+
+class _FakeReplica:
+    def __init__(self, pid, state, blocks=1):
+        self.pid = pid
+        self.log = _FakeLog(state, blocks)
+
+
+class _FakeCluster:
+    def __init__(self, replicas):
+        self.replicas = replicas
+
+    def correct_replicas(self):
+        return self.replicas
+
+
+def _state(committed=(), aborted=(), prepared=(), accounts=()):
+    kv = KVStore()
+    kv.x_committed = set(committed)
+    kv.x_aborted = set(aborted)
+    kv.x_prepared = set(prepared) | set(committed) | set(aborted)
+    for key, value in accounts:
+        kv.apply(("set", key, value))
+    return kv
+
+
+def test_oracle_accepts_unanimous_histories():
+    a = _state(committed=[0], accounts=[("acct0", -1)])
+    b = _state(committed=[0], accounts=[("acct1", 1)])
+    report = check_atomicity(
+        [_FakeCluster([_FakeReplica(0, a)]), _FakeCluster([_FakeReplica(0, b)])]
+    )
+    assert report.ok
+    assert report.committed == {0}
+
+
+def test_oracle_flags_commit_abort_disagreement():
+    a = _state(committed=[0], accounts=[("acct0", -1)])
+    b = _state(aborted=[0])
+    report = check_atomicity(
+        [_FakeCluster([_FakeReplica(0, a)]), _FakeCluster([_FakeReplica(0, b)])]
+    )
+    assert not report.ok
+    assert any("committed on one" in v for v in report.violations)
+
+
+def test_oracle_flags_intra_shard_outcome_conflict():
+    lead = _state(committed=[0], accounts=[("acct0", -1)], prepared=[0])
+    lag = _state(aborted=[0])
+    report = check_atomicity(
+        [_FakeCluster([_FakeReplica(0, lead, blocks=5), _FakeReplica(1, lag)])]
+    )
+    assert not report.ok
+    assert any("differently from the reference" in v for v in report.violations)
+
+
+def test_oracle_tolerates_lagging_subset_replicas():
+    lead = _state(committed=[0, 1], accounts=[("acct0", -2)])
+    lag = _state(committed=[0], accounts=[("acct0", -1)])
+    other = _state(committed=[0, 1], accounts=[("acct1", 2)])
+    report = check_atomicity(
+        [
+            _FakeCluster([_FakeReplica(0, lead, blocks=5), _FakeReplica(1, lag)]),
+            _FakeCluster([_FakeReplica(0, other, blocks=5)]),
+        ]
+    )
+    assert report.ok
+
+
+def test_oracle_flags_conservation_break():
+    # A commit applied on BOTH shards but only one side's account moved:
+    # the totals cannot be explained by in-flight half-commits.
+    a = _state(committed=[0], accounts=[("acct0", -1)])
+    b = _state(committed=[0])  # partner shard "lost" its credit leg
+    report = check_atomicity(
+        [_FakeCluster([_FakeReplica(0, a)]), _FakeCluster([_FakeReplica(0, b)])]
+    )
+    assert not report.ok
+    assert any("conservation" in v for v in report.violations)
+
+
+def test_oracle_allows_half_applied_commit_in_flight():
+    # Commit landed on the home shard, still in flight to the partner:
+    # |total| == #partial_commits is within the conservation bound.
+    a = _state(committed=[0], accounts=[("acct0", -1)])
+    b = _state(prepared=[0])
+    report = check_atomicity(
+        [_FakeCluster([_FakeReplica(0, a)]), _FakeCluster([_FakeReplica(0, b)])]
+    )
+    assert report.ok
+    assert report.partial_commits == {0}

@@ -35,6 +35,7 @@ class TestRegistryCompleteness:
             "lint",
             "workload",
             "fuzz",
+            "shard",
         ]
 
     def test_names_are_consistent(self):
